@@ -1,0 +1,69 @@
+// Command gbasm is a standalone rv64im assembler / disassembler for the
+// guest ISA:
+//
+//	gbasm program.s            assemble, print the image layout and hex
+//	gbasm -d program.s         assemble then disassemble (round trip)
+//	gbasm -sym program.s       print the symbol table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ghostbusters"
+	"ghostbusters/internal/riscv"
+)
+
+func main() {
+	dis := flag.Bool("d", false, "disassemble the assembled text")
+	sym := flag.Bool("sym", false, "print the symbol table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gbasm [-d] [-sym] program.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+	prog, err := ghostbusters.Assemble(string(src))
+	fail(err)
+
+	fmt.Printf("text: %#x..%#x (%d instructions)\n", prog.TextBase,
+		prog.TextBase+uint64(4*len(prog.Text)), len(prog.Text))
+	fmt.Printf("data: %#x..%#x (%d bytes)\n", prog.DataBase,
+		prog.DataBase+uint64(len(prog.Data)), len(prog.Data))
+	fmt.Printf("entry: %#x\n\n", prog.Entry)
+
+	if *sym {
+		type entry struct {
+			name string
+			addr uint64
+		}
+		var syms []entry
+		for n, a := range prog.Symbols {
+			syms = append(syms, entry{n, a})
+		}
+		sort.Slice(syms, func(a, b int) bool { return syms[a].addr < syms[b].addr })
+		for _, s := range syms {
+			fmt.Printf("%#010x  %s\n", s.addr, s.name)
+		}
+		return
+	}
+
+	for i, w := range prog.Text {
+		pc := prog.TextBase + uint64(4*i)
+		if *dis {
+			fmt.Printf("%#010x: %08x  %s\n", pc, w, riscv.Disasm(riscv.Decode(w)))
+		} else {
+			fmt.Printf("%#010x: %08x\n", pc, w)
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gbasm:", err)
+		os.Exit(1)
+	}
+}

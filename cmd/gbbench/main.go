@@ -1,0 +1,105 @@
+// Command gbbench regenerates the paper's evaluation tables:
+//
+//	gbbench -exp fig4    slowdown of each countermeasure vs unsafe
+//	                     execution over the benchmark suite (Figure 4,
+//	                     plus the fence variant of Section V-B)
+//	gbbench -exp poc     the Section V-A proof-of-concept matrix
+//	gbbench -exp ptrmm   the pointer-layout matmul experiment
+//	                     (Section V-B, last paragraph)
+//	gbbench -exp kernel -kernel gemm -n 24   a single kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/harness"
+	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/vliw"
+)
+
+func main() {
+	exp := flag.String("exp", "fig4", "experiment: fig4 | poc | ptrmm | kernel")
+	kernel := flag.String("kernel", "gemm", "kernel name for -exp kernel")
+	n := flag.Int("n", 0, "problem size override (0 = default)")
+	width := flag.Int("width", 4, "VLIW issue width: 2, 4 or 8")
+	csv := flag.Bool("csv", false, "machine-readable CSV output (fig4/ptrmm/kernel)")
+	flag.Parse()
+
+	base := dbt.DefaultConfig()
+	switch *width {
+	case 2:
+		base.Core = vliw.NarrowConfig()
+	case 4:
+		base.Core = vliw.DefaultConfig()
+	case 8:
+		base.Core = vliw.WideConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "gbbench: unsupported width %d\n", *width)
+		os.Exit(2)
+	}
+
+	switch *exp {
+	case "fig4":
+		rows, err := harness.Fig4(base, harness.Fig4Modes, *n)
+		fail(err)
+		if *csv {
+			fmt.Print(harness.CSV(rows, harness.Fig4Modes))
+			return
+		}
+		fmt.Println("Figure 4 — slowdown vs. unsafe execution (lower is better)")
+		fmt.Println("columns: unsafe baseline cycles; then % of unsafe time per countermeasure")
+		fmt.Println()
+		fmt.Print(harness.FormatRows(rows, harness.Fig4Modes))
+
+	case "poc":
+		table, _, err := harness.PoCMatrix(base)
+		fail(err)
+		fmt.Println("Section V-A — Spectre proof-of-concept matrix")
+		fmt.Println()
+		fmt.Print(table)
+
+	case "ptrmm":
+		k, err := polybench.ByName("matmul-ptr")
+		fail(err)
+		row, err := harness.RunKernel(k, *n, base, harness.Fig4Modes)
+		fail(err)
+		if *csv {
+			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
+			return
+		}
+		fmt.Println("Section V-B — matmul with array-of-pointer 2-D layout")
+		fmt.Println("(the Spectre pattern occurs in the hot loop: fine-grained")
+		fmt.Println("mitigation should cost far less than the fence)")
+		fmt.Println()
+		fmt.Print(harness.FormatRows([]*harness.Row{row}, harness.Fig4Modes))
+		gb := row.Stats[core.ModeGhostBusters]
+		fmt.Printf("\npatterns detected: %d, risky loads pinned: %d, guard edges: %d\n",
+			gb.PatternsFound, gb.RiskyLoads, gb.GuardEdges)
+
+	case "kernel":
+		k, err := polybench.ByName(*kernel)
+		fail(err)
+		row, err := harness.RunKernel(k, *n, base, harness.Fig4Modes)
+		fail(err)
+		if *csv {
+			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
+			return
+		}
+		fmt.Print(harness.FormatRows([]*harness.Row{row}, harness.Fig4Modes))
+
+	default:
+		fmt.Fprintf(os.Stderr, "gbbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gbbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+// Command gbrun assembles and runs an rv64im guest program on the
+// simulated DBT-based processor:
+//
+//	gbrun [-mode unsafe|ghostbusters|fence|nospec] [-width 2|4|8]
+//	      [-interp] [-stats] program.s
+//
+// The exit status is the guest's exit code.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ghostbusters"
+	"ghostbusters/internal/vliw"
+)
+
+func main() {
+	mode := flag.String("mode", "unsafe", "mitigation: unsafe | ghostbusters | fence | nospec")
+	width := flag.Int("width", 4, "VLIW issue width: 2, 4 or 8")
+	interp := flag.Bool("interp", false, "interpreter only (no translation)")
+	stats := flag.Bool("stats", false, "print machine statistics")
+	trace := flag.Bool("trace", false, "log every block dispatch and taken branch to stderr")
+	profile := flag.Bool("profile", false, "print the hottest translated regions")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gbrun [flags] program.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	fail(err)
+
+	m, err := ghostbusters.ParseMode(*mode)
+	fail(err)
+	cfg := ghostbusters.WithMitigation(ghostbusters.DefaultConfig(), m)
+	switch *width {
+	case 2:
+		cfg.Core = vliw.NarrowConfig()
+	case 4:
+	case 8:
+		cfg.Core = vliw.WideConfig()
+	default:
+		fail(fmt.Errorf("unsupported width %d", *width))
+	}
+	cfg.DisableTranslation = *interp
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+
+	prog, err := ghostbusters.Assemble(string(src))
+	fail(err)
+	machine, err := ghostbusters.NewMachine(cfg)
+	fail(err)
+	fail(machine.Load(prog))
+	res, err := machine.Run()
+	fail(err)
+
+	fmt.Printf("exit=%d cycles=%d instret=%d\n", res.Exit.Code, res.Cycles, res.Instret)
+	if *profile {
+		fmt.Println("hottest translated regions:")
+		for i, r := range machine.ProfileReport() {
+			if i >= 10 {
+				break
+			}
+			kind := "block"
+			if r.IsTrace {
+				kind = "trace"
+			}
+			fmt.Printf("  %#010x %-6s %8d dispatches, %3d insts in %3d bundles\n",
+				r.PC, kind, r.Entries, r.GuestInsts, r.Bundles)
+		}
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Printf("interp-insts=%d blocks=%d traces=%d block-execs=%d bundles=%d\n",
+			s.InterpInsts, s.Blocks, s.Traces, s.BlockExecs, s.Bundles)
+		fmt.Printf("spec-loads=%d squashed=%d recoveries=%d side-exits=%d\n",
+			s.SpecLoads, s.SpecSquash, s.Recoveries, s.SideExits)
+		fmt.Printf("patterns=%d risky-loads=%d guard-edges=%d compile-errors=%d\n",
+			s.PatternsFound, s.RiskyLoads, s.GuardEdges, s.CompileErrs)
+	}
+	os.Exit(int(res.Exit.Code))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gbrun:", err)
+		os.Exit(1)
+	}
+}

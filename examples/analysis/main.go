@@ -1,0 +1,87 @@
+// Analysis: look inside the DBT engine. This example runs the Fig. 1
+// Spectre gadget until the engine builds its superblock, then prints
+// (1) the translated VLIW schedule — showing the dismissable loads
+// hoisted above the side exit — and (2) the IR data-flow graph in
+// Graphviz format with the poison analysis overlaid, reproducing the
+// paper's Figure 3 for real translated code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghostbusters"
+)
+
+const gadget = `
+	.data
+size:	.dword 16
+buffer:	.space 16
+secret:	.byte 0x42
+	.align 6
+arrayVal: .space 32768
+	.text
+main:
+	li s0, 0
+train:
+	andi a0, s0, 15
+	call victim
+	addi s0, s0, 1
+	li t0, 64
+	blt s0, t0, train
+	li a0, 0
+	ecall
+
+	# The Fig. 1 gadget.
+victim:
+	la t0, size
+	ld t0, 0(t0)
+	bgeu a0, t0, vdone
+	la t1, buffer
+	add t1, t1, a0
+	lbu t2, 0(t1)
+	slli t2, t2, 7
+	la t3, arrayVal
+	add t3, t3, t2
+	lbu t4, 0(t3)
+vdone:
+	ret
+`
+
+func main() {
+	prog, err := ghostbusters.Assemble(gadget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := ghostbusters.NewMachine(ghostbusters.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	victim := prog.MustSymbol("victim")
+	blk := m.BlockAt(victim)
+	if blk == nil {
+		log.Fatal("victim was not translated")
+	}
+	fmt.Println("== translated VLIW code for the victim superblock ==")
+	fmt.Println("(note the ldd dismissable loads scheduled BEFORE the br side exit:")
+	fmt.Println(" that static ordering is the Spectre v1 window)")
+	fmt.Println()
+	fmt.Print(blk.String())
+
+	fmt.Println()
+	fmt.Println("== the same block's IR data-flow graph (paper Fig. 3) ==")
+	fmt.Println("(render with: dot -Tsvg; blue = poisoned values)")
+	fmt.Println()
+	dot, err := m.DumpIR(victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(dot)
+}

@@ -1,0 +1,170 @@
+// Package ghostbusters is a from-scratch reproduction of "GhostBusters:
+// Mitigating Spectre Attacks on a DBT-Based Processor" (Simon Rokicki,
+// DATE 2020): a complete DBT-based processor model — RV64IM front end,
+// profiling dynamic binary translator with superblock/trace construction
+// and memory dependency speculation, and an in-order VLIW core with
+// hidden registers, a Memory Conflict Buffer and a timed data cache —
+// together with the paper's two Spectre proofs of concept and the
+// GhostBusters poison-analysis countermeasure.
+//
+// The package is a thin facade over the implementation packages:
+//
+//	internal/riscv     guest ISA: assembler, encoder, interpreter
+//	internal/ir        the DBT engine's per-block data-flow graphs
+//	internal/core      the GhostBusters mitigation (poison analysis)
+//	internal/dbt       translator, scheduler, machine dispatch loop
+//	internal/vliw      VLIW target ISA and timed in-order executor
+//	internal/cache     set-associative timed data cache (the side channel)
+//	internal/attack    Spectre v1/v4 proof-of-concept attacks
+//	internal/polybench benchmark kernels + Go reference implementations
+//	internal/harness   the paper's experiments (Fig. 4, Section V)
+//
+// Quick start:
+//
+//	prog, _ := ghostbusters.Assemble(src)
+//	m, _ := ghostbusters.NewMachine(ghostbusters.WithMitigation(
+//	        ghostbusters.DefaultConfig(), ghostbusters.ModeGhostBusters))
+//	m.Load(prog)
+//	res, _ := m.Run()
+//	fmt.Println(res.Cycles)
+package ghostbusters
+
+import (
+	"ghostbusters/internal/attack"
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/harness"
+	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/vliw"
+)
+
+// Mode selects the Spectre mitigation applied by the DBT engine.
+type Mode = core.Mode
+
+// Mitigation modes (paper Section IV and the baselines of Section V).
+const (
+	// ModeUnsafe speculates freely: the paper's vulnerable baseline.
+	ModeUnsafe = core.ModeUnsafe
+	// ModeGhostBusters runs the poison analysis and pins only the risky
+	// accesses — the paper's contribution.
+	ModeGhostBusters = core.ModeGhostBusters
+	// ModeFence disables all speculation across a guard where the
+	// Spectre pattern is detected (the paper's fence variant).
+	ModeFence = core.ModeFence
+	// ModeNoSpeculation turns speculation off entirely (the paper's
+	// naive countermeasure).
+	ModeNoSpeculation = core.ModeNoSpeculation
+)
+
+// ParseMode resolves "unsafe", "ghostbusters", "fence" or "nospec".
+func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
+
+// Config describes a machine instance: mitigation mode, cache geometry,
+// VLIW core shape, translation thresholds.
+type Config = dbt.Config
+
+// DefaultConfig returns the standard 4-issue machine with a 16 KiB data
+// cache and the unsafe (fully speculating) DBT engine.
+func DefaultConfig() Config { return dbt.DefaultConfig() }
+
+// WithMitigation returns cfg with the mitigation mode set.
+func WithMitigation(cfg Config, m Mode) Config {
+	cfg.Mitigation = m
+	return cfg
+}
+
+// CoreConfig describes the VLIW core geometry.
+type CoreConfig = vliw.Config
+
+// Core geometries for the issue-width ablation.
+var (
+	NarrowCore  = vliw.NarrowConfig  // 2-issue
+	DefaultCore = vliw.DefaultConfig // 4-issue (Hybrid-DBT shape)
+	WideCore    = vliw.WideConfig    // 8-issue
+)
+
+// Machine is the simulated DBT-based processor.
+type Machine = dbt.Machine
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) (*Machine, error) { return dbt.New(cfg) }
+
+// Result reports a finished guest run.
+type Result = dbt.Result
+
+// Stats aggregates machine counters (speculation, recoveries, detected
+// Spectre patterns, ...).
+type Stats = dbt.Stats
+
+// Program is an assembled guest image.
+type Program = riscv.Program
+
+// Assemble translates RV64IM assembly into a guest program.
+func Assemble(src string) (*Program, error) { return riscv.Assemble(src) }
+
+// AttackVariant selects a Spectre proof of concept.
+type AttackVariant = attack.Variant
+
+// The two variants demonstrated by the paper (Section III).
+const (
+	SpectreV1 = attack.V1
+	SpectreV4 = attack.V4
+)
+
+// AttackParams configures a proof-of-concept run.
+type AttackParams = attack.Params
+
+// Attacker flush strategies (the Arm version of the paper uses a
+// dedicated flush instruction; the RISC-V version flushes line by line).
+const (
+	FlushAll        = attack.FlushAll
+	FlushLineByLine = attack.FlushLineByLine
+)
+
+// AttackResult reports how much of the secret leaked.
+type AttackResult = attack.Result
+
+// RunAttack executes a Spectre proof of concept under cfg and reports
+// the recovered secret.
+func RunAttack(v AttackVariant, cfg Config, p AttackParams) (*AttackResult, error) {
+	return attack.Run(v, cfg, p)
+}
+
+// Kernel is a benchmark kernel generator.
+type Kernel = polybench.Kernel
+
+// Kernels returns the benchmark suite used by the Figure 4 experiment.
+func Kernels() []Kernel { return polybench.All() }
+
+// KernelByName resolves a kernel ("gemm", ..., "matmul-ptr").
+func KernelByName(name string) (Kernel, error) { return polybench.ByName(name) }
+
+// Row is one benchmark's cycles and slowdowns across mitigation modes.
+type Row = harness.Row
+
+// Fig4Modes are the modes the evaluation compares.
+var Fig4Modes = harness.Fig4Modes
+
+// RunKernel measures one kernel under the given modes, validating guest
+// results against the native reference.
+func RunKernel(k Kernel, n int, cfg Config, modes []Mode) (*Row, error) {
+	return harness.RunKernel(k, n, cfg, modes)
+}
+
+// RunFigure4 runs the full Figure 4 experiment.
+func RunFigure4(cfg Config, modes []Mode, sizeOverride int) ([]*Row, error) {
+	return harness.Fig4(cfg, modes, sizeOverride)
+}
+
+// FormatRows renders a Figure 4-style slowdown table.
+func FormatRows(rows []*Row, modes []Mode) string {
+	return harness.FormatRows(rows, modes)
+}
+
+// RunPoCMatrix runs the Section V-A proof-of-concept matrix and renders
+// it as a table.
+func RunPoCMatrix(cfg Config) (string, error) {
+	table, _, err := harness.PoCMatrix(cfg)
+	return table, err
+}

@@ -1,0 +1,3 @@
+module ghostbusters
+
+go 1.22

@@ -1,0 +1,70 @@
+// Package bus wires the flat guest memory and the timed data cache into
+// the memory system seen by both the interpreter and the VLIW core. One
+// Bus instance is shared by every execution mode of the machine, so cache
+// state (the side channel) persists across interpreted and translated
+// code, exactly as on the real processor.
+package bus
+
+import (
+	"ghostbusters/internal/cache"
+	"ghostbusters/internal/guestmem"
+)
+
+// Bus is the standard memory system: guest memory behind a data cache.
+// Accesses are timed at line granularity of the first byte; the model
+// does not split line-crossing accesses (guest code keeps natural
+// alignment).
+type Bus struct {
+	Mem *guestmem.Memory
+	DC  *cache.Cache
+}
+
+// New builds a Bus over mem with a cache configured by cfg.
+func New(mem *guestmem.Memory, cfg cache.Config) *Bus {
+	return &Bus{Mem: mem, DC: cache.New(cfg)}
+}
+
+// Fetch reads an instruction word. Instruction fetch is not timed through
+// the data cache (the modelled side channel is the D-cache only).
+func (b *Bus) Fetch(addr uint64) (uint32, error) {
+	return b.Mem.ReadWord32(addr)
+}
+
+// Load performs an architectural load: protection is enforced, the cache
+// is filled, and the latency is returned.
+func (b *Bus) Load(addr uint64, size int) (uint64, uint64, error) {
+	v, err := b.Mem.Read(addr, size)
+	if err != nil {
+		return 0, 0, err
+	}
+	lat, _ := b.DC.Access(addr)
+	return v, lat, nil
+}
+
+// LoadSpeculative performs a dismissable load (the VLIW ldd/lds opcodes):
+// faults are squashed (ok=false, zero value, no cache fill); in-range
+// accesses fill the cache even when they target protected data — this is
+// the microarchitectural leak of the paper.
+func (b *Bus) LoadSpeculative(addr uint64, size int) (val uint64, lat uint64, ok bool) {
+	v, ok := b.Mem.ReadSpeculative(addr, size)
+	if !ok {
+		return 0, 0, false
+	}
+	lat, _ = b.DC.Access(addr)
+	return v, lat, true
+}
+
+// Store performs an architectural store (write-allocate).
+func (b *Bus) Store(addr uint64, size int, val uint64) (uint64, error) {
+	if err := b.Mem.Write(addr, size, val); err != nil {
+		return 0, err
+	}
+	lat, _ := b.DC.Access(addr)
+	return lat, nil
+}
+
+// FlushLine invalidates the cache line containing addr.
+func (b *Bus) FlushLine(addr uint64) { b.DC.FlushLine(addr) }
+
+// FlushAll invalidates the whole data cache.
+func (b *Bus) FlushAll() { b.DC.FlushAll() }

@@ -1,0 +1,149 @@
+// Package cache implements the timed set-associative data cache of the
+// simulated processor. It is a tag-only timing model: data lives in guest
+// memory; the cache decides how many cycles each access costs. The cache
+// is the side channel of the Spectre attacks — speculative loads fill
+// lines, and the attacker distinguishes hits from misses with rdcycle.
+package cache
+
+import "fmt"
+
+// Config describes cache geometry and timing.
+type Config struct {
+	Sets        int    // number of sets (power of two)
+	Ways        int    // associativity
+	LineSize    uint64 // bytes per line (power of two)
+	HitLatency  uint64 // cycles for a hit
+	MissPenalty uint64 // extra cycles for a miss (total = HitLatency + MissPenalty)
+}
+
+// DefaultConfig returns the standard 16 KiB 4-way cache with 64-byte
+// lines, 3-cycle hits and a 20-cycle miss penalty — comfortably above the
+// side-channel detection threshold, like the caches in the paper's
+// platforms.
+func DefaultConfig() Config {
+	return Config{Sets: 64, Ways: 4, LineSize: 64, HitLatency: 3, MissPenalty: 20}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: Sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache: Ways must be positive, got %d", c.Ways)
+	}
+	if c.LineSize == 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: LineSize must be a positive power of two, got %d", c.LineSize)
+	}
+	return nil
+}
+
+// Stats accumulates access counts.
+type Stats struct {
+	Hits    uint64
+	Misses  uint64
+	Flushes uint64
+}
+
+type line struct {
+	valid bool
+	tag   uint64
+	lru   uint64 // last-use stamp
+}
+
+// Cache is a set-associative LRU cache timing model.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	stamp uint64
+	stats Stats
+}
+
+// New builds a cache from cfg; it panics on an invalid configuration
+// (construction-time programming error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]line, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / c.cfg.LineSize
+	return int(lineAddr % uint64(c.cfg.Sets)), lineAddr / uint64(c.cfg.Sets)
+}
+
+// Access models a load or store of the line containing addr (write-
+// allocate, so both directions fill). It returns the latency in cycles
+// and whether the access hit.
+func (c *Cache) Access(addr uint64) (latency uint64, hit bool) {
+	c.stamp++
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.stamp
+			c.stats.Hits++
+			return c.cfg.HitLatency, true
+		}
+	}
+	c.stats.Misses++
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = line{valid: true, tag: tag, lru: c.stamp}
+	return c.cfg.HitLatency + c.cfg.MissPenalty, false
+}
+
+// Probe reports whether the line containing addr is present, without
+// touching LRU state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushLine invalidates the line containing addr (the cflush instruction).
+func (c *Cache) FlushLine(addr uint64) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			c.sets[set][i] = line{}
+			c.stats.Flushes++
+		}
+	}
+}
+
+// FlushAll invalidates every line (the cflushall instruction).
+func (c *Cache) FlushAll() {
+	for _, ways := range c.sets {
+		for i := range ways {
+			ways[i] = line{}
+		}
+	}
+	c.stats.Flushes++
+}
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return c.cfg.LineSize }

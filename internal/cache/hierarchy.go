@@ -1,0 +1,77 @@
+package cache
+
+// Hierarchy is a two-level data cache: a small fast L1 in front of a
+// larger L2. The Spectre side channel only needs the L1, but a second
+// level makes the timing model richer — three distinguishable access
+// times (L1 hit, L2 hit, memory) instead of two, matching the platforms
+// the paper attacks (Denver and the Hybrid-DBT FPGA system both have a
+// second-level cache behind the core).
+//
+// Timing: an L1 hit costs L1.HitLatency; an L1 miss that hits L2 costs
+// L1.HitLatency + L2.HitLatency; a full miss additionally pays
+// L2.MissPenalty. The L1 MissPenalty field is ignored when a Hierarchy
+// is used. The hierarchy is non-inclusive: flushes invalidate both
+// levels.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+}
+
+// HierarchyConfig configures both levels.
+type HierarchyConfig struct {
+	L1 Config
+	L2 Config
+}
+
+// DefaultHierarchyConfig pairs the standard 16 KiB L1 with a 128 KiB
+// 8-way L2 (12-cycle L2 hit on top of the L1 probe, 60-cycle memory).
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1: Config{Sets: 64, Ways: 4, LineSize: 64, HitLatency: 3, MissPenalty: 0},
+		L2: Config{Sets: 256, Ways: 8, LineSize: 64, HitLatency: 12, MissPenalty: 48},
+	}
+}
+
+// NewHierarchy builds a two-level cache; it panics on an invalid
+// configuration (construction-time programming error).
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{L1: New(cfg.L1), L2: New(cfg.L2)}
+}
+
+// Access models a load or store through both levels and returns the
+// total latency plus which level (1, 2) hit; level 0 means memory.
+func (h *Hierarchy) Access(addr uint64) (latency uint64, level int) {
+	lat1, hit1 := h.L1.Access(addr)
+	if hit1 {
+		return lat1, 1
+	}
+	// lat1 includes the (zero) L1 miss penalty: the L1 probe cost.
+	lat2, hit2 := h.L2.Access(addr)
+	if hit2 {
+		return lat1 + lat2, 2
+	}
+	return lat1 + lat2, 0
+}
+
+// Probe reports the fastest level currently holding addr (0 = absent).
+func (h *Hierarchy) Probe(addr uint64) int {
+	if h.L1.Probe(addr) {
+		return 1
+	}
+	if h.L2.Probe(addr) {
+		return 2
+	}
+	return 0
+}
+
+// FlushLine invalidates the line in both levels.
+func (h *Hierarchy) FlushLine(addr uint64) {
+	h.L1.FlushLine(addr)
+	h.L2.FlushLine(addr)
+}
+
+// FlushAll empties both levels.
+func (h *Hierarchy) FlushAll() {
+	h.L1.FlushAll()
+	h.L2.FlushAll()
+}

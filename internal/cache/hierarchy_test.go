@@ -1,0 +1,76 @@
+package cache
+
+import "testing"
+
+func TestHierarchyThreeTimingLevels(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// Cold: memory access through both levels.
+	lat, level := h.Access(0x4000)
+	if level != 0 {
+		t.Fatalf("cold access hit level %d", level)
+	}
+	memLat := lat
+	// Now both levels hold it: L1 hit.
+	lat, level = h.Access(0x4000)
+	if level != 1 || lat != 3 {
+		t.Fatalf("L1 hit: lat=%d level=%d", lat, level)
+	}
+	// Evict from L1 only, keep L2: L2 hit, intermediate latency.
+	h.L1.FlushLine(0x4000)
+	lat, level = h.Access(0x4000)
+	if level != 2 {
+		t.Fatalf("expected L2 hit, got level %d", level)
+	}
+	if lat <= 3 || lat >= memLat {
+		t.Fatalf("L2 latency %d should sit between L1 (3) and memory (%d)", lat, memLat)
+	}
+}
+
+func TestHierarchyProbe(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	if h.Probe(0x100) != 0 {
+		t.Fatal("empty hierarchy probes nonzero")
+	}
+	h.Access(0x100)
+	if h.Probe(0x100) != 1 {
+		t.Fatal("after access, L1 should hold the line")
+	}
+	h.L1.FlushLine(0x100)
+	if h.Probe(0x100) != 2 {
+		t.Fatal("after L1 flush, L2 should still hold the line")
+	}
+	h.FlushLine(0x100)
+	if h.Probe(0x100) != 0 {
+		t.Fatal("FlushLine must clear both levels")
+	}
+}
+
+func TestHierarchyFlushAll(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	for i := uint64(0); i < 16; i++ {
+		h.Access(i * 64)
+	}
+	h.FlushAll()
+	for i := uint64(0); i < 16; i++ {
+		if h.Probe(i*64) != 0 {
+			t.Fatalf("line %d survived FlushAll", i)
+		}
+	}
+}
+
+func TestHierarchyL1EvictionFallsToL2(t *testing.T) {
+	cfg := HierarchyConfig{
+		L1: Config{Sets: 1, Ways: 1, LineSize: 64, HitLatency: 1, MissPenalty: 0},
+		L2: Config{Sets: 64, Ways: 4, LineSize: 64, HitLatency: 5, MissPenalty: 20},
+	}
+	h := NewHierarchy(cfg)
+	h.Access(0)  // fills L1+L2
+	h.Access(64) // evicts 0 from the 1-entry L1, L2 keeps both
+	if h.Probe(0) != 2 {
+		t.Fatalf("evicted line should remain in L2, probe=%d", h.Probe(0))
+	}
+	lat, level := h.Access(0)
+	if level != 2 || lat != 1+5 {
+		t.Fatalf("L2 refill: lat=%d level=%d", lat, level)
+	}
+}

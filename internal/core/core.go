@@ -1,0 +1,265 @@
+// Package core implements the paper's primary contribution: the
+// GhostBusters mitigation of Spectre attacks on a DBT-based processor
+// (Rokicki, DATE 2020, Section IV).
+//
+// Before instruction scheduling, the DBT engine runs a poisoning
+// analysis over the data-flow graph of the block it is about to
+// optimise:
+//
+//  1. every load that could be scheduled speculatively — hoisted above a
+//     conditional branch (trace scheduling) or above a store with an
+//     unprovably-disjoint address (memory dependency speculation) —
+//     generates a *poisoned* value;
+//  2. any instruction using a poisoned operand produces a poisoned value;
+//  3. a speculative memory access whose *address* is poisoned is the
+//     Spectre leak pattern: it would push a secret-dependent line into
+//     the data cache while misspeculating.
+//
+// Where the pattern is found, the mitigation inserts a control
+// dependency between the risky access and the instructions that cause
+// the speculation (the guards), pinning only that access — everything
+// else in the block keeps speculating, which is why the countermeasure
+// is nearly free. The package also implements the two baselines the
+// paper compares against: a fence at the guard (no speculation may cross
+// it) and turning speculation off entirely.
+//
+// Because a DBT engine only speculates inside one IR block, the whole
+// analysis is block-local (contrast with whole-binary tools like oo7).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostbusters/internal/ir"
+)
+
+// Mode selects the mitigation strategy applied to each block before
+// scheduling.
+type Mode uint8
+
+const (
+	// ModeUnsafe performs no analysis: full speculation (the paper's
+	// baseline, vulnerable to both Spectre variants).
+	ModeUnsafe Mode = iota
+	// ModeGhostBusters runs the poison analysis and pins only the risky
+	// accesses with fine-grained control dependencies (the paper's
+	// contribution, "our approach" in Fig. 4).
+	ModeGhostBusters
+	// ModeFence runs the same detection but, where a pattern is found,
+	// forbids all speculation across the guard (the paper's third
+	// experiment: "a fence whenever the Spectre pattern is detected").
+	ModeFence
+	// ModeNoSpeculation disables both speculation mechanisms globally
+	// (the paper's naive countermeasure, "No speculation" in Fig. 4).
+	ModeNoSpeculation
+)
+
+var modeNames = map[Mode]string{
+	ModeUnsafe:        "unsafe",
+	ModeGhostBusters:  "ghostbusters",
+	ModeFence:         "fence",
+	ModeNoSpeculation: "nospec",
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseMode resolves a mode name used by CLIs and config files.
+func ParseMode(s string) (Mode, error) {
+	for m, n := range modeNames {
+		if n == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mitigation mode %q (want unsafe|ghostbusters|fence|nospec)", s)
+}
+
+// Report describes what the analysis found and changed in one block.
+type Report struct {
+	// SpeculativeLoads counts loads the scheduler could execute
+	// speculatively (at least one relaxable incoming edge).
+	SpeculativeLoads int
+	// PoisonedInsts counts instructions whose value may derive from a
+	// misspeculated load.
+	PoisonedInsts int
+	// Poisoned lists the instructions whose values may derive from a
+	// misspeculated load, in program order (for Fig. 3-style rendering
+	// via ir.Block.Dot).
+	Poisoned []int
+	// RiskyLoads lists the instructions matching the Spectre pattern
+	// (speculative memory access with poisoned address), in program
+	// order.
+	RiskyLoads []int
+	// Guards lists the instructions causing the speculation of the risky
+	// loads (branches and stores), in program order.
+	Guards []int
+	// GuardEdges counts control dependencies inserted by the mitigation.
+	GuardEdges int
+}
+
+// PatternFound reports whether the block contains the Spectre pattern.
+func (r Report) PatternFound() bool { return len(r.RiskyLoads) > 0 }
+
+// guardSet is a small set of instruction indices.
+type guardSet map[int]struct{}
+
+func (g guardSet) union(o guardSet) guardSet {
+	if len(o) == 0 {
+		return g
+	}
+	if g == nil {
+		g = make(guardSet, len(o))
+	}
+	for k := range o {
+		g[k] = struct{}{}
+	}
+	return g
+}
+
+// Analyze runs the poison analysis without modifying the block. It
+// returns the detection report (used by ModeUnsafe callers that still
+// want statistics, by tests, and by the ablation benchmarks).
+func Analyze(b *ir.Block) Report {
+	rep, _ := analyze(b)
+	return rep
+}
+
+// analyze computes the report plus, for every risky load, the guard set
+// that must order it.
+func analyze(b *ir.Block) (Report, map[int]guardSet) {
+	var rep Report
+
+	// selfGuards[i]: guards instruction i could speculate across
+	// (sources of its relaxable in-edges). Only loads generate poison
+	// (paper: "Speculative instructions can be either load instructions
+	// moved before a conditional branch or load instructions moved
+	// before a memory write").
+	selfGuards := make([]guardSet, len(b.Insts))
+	for _, e := range b.Edges {
+		if !e.Relaxable {
+			continue
+		}
+		if !b.Insts[e.To].IsLoad() {
+			continue
+		}
+		if selfGuards[e.To] == nil {
+			selfGuards[e.To] = make(guardSet)
+		}
+		selfGuards[e.To][e.From] = struct{}{}
+	}
+
+	poison := make([]guardSet, len(b.Insts))
+	pins := make(map[int]guardSet)
+	operandPoison := func(op ir.Operand) guardSet {
+		if op.Kind == ir.OpInst {
+			return poison[op.Inst]
+		}
+		return nil
+	}
+
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		var p guardSet
+		p = p.union(operandPoison(in.A))
+		if !in.IsLoad() { // a load's B operand is unused; stores leak via address only
+			p = p.union(operandPoison(in.B))
+		}
+
+		if in.IsLoad() && len(selfGuards[i]) > 0 {
+			rep.SpeculativeLoads++
+			if len(operandPoison(in.A)) > 0 {
+				// The Spectre pattern: a speculative memory access whose
+				// address is poisoned. Pin it behind the guards that
+				// poisoned the address and behind its own guards.
+				g := make(guardSet)
+				g = g.union(operandPoison(in.A))
+				g = g.union(selfGuards[i])
+				pins[i] = g
+				rep.RiskyLoads = append(rep.RiskyLoads, i)
+				// Once ordered after its guards, the load reads
+				// architecturally-correct data: its value is clean.
+				poison[i] = nil
+				continue
+			}
+			// Clean-address speculative load: its value is poisoned.
+			p = p.union(selfGuards[i])
+		}
+		poison[i] = p
+	}
+
+	for i, p := range poison {
+		if len(p) > 0 {
+			rep.PoisonedInsts++
+			rep.Poisoned = append(rep.Poisoned, i)
+		}
+	}
+	guards := make(guardSet)
+	for _, g := range pins {
+		guards = guards.union(g)
+	}
+	rep.Guards = sortedKeys(guards)
+	return rep, pins
+}
+
+func sortedKeys(g guardSet) []int {
+	out := make([]int, 0, len(g))
+	for k := range g {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Apply runs the mitigation for the selected mode, modifying the block's
+// edges in place, and returns the report.
+//
+//   - ModeUnsafe: detection only (report), no changes.
+//   - ModeGhostBusters: each risky load is made non-speculative
+//     (PinInto) and receives a hard guard edge from every instruction
+//     that caused the poisoning — the paper's fine-grained control
+//     dependency (Fig. 3C).
+//   - ModeFence: all speculation across each implicated guard is
+//     disabled (PinFrom) — coarse fence semantics.
+//   - ModeNoSpeculation: every relaxable edge is pinned; no analysis
+//     needed, but the detection report is still returned for symmetry.
+func Apply(b *ir.Block, mode Mode) Report {
+	if mode == ModeNoSpeculation {
+		rep := Analyze(b)
+		b.PinAll()
+		return rep
+	}
+	rep, pins := analyze(b)
+	switch mode {
+	case ModeUnsafe:
+		// report only
+	case ModeGhostBusters:
+		for _, load := range rep.RiskyLoads {
+			b.PinInto(load)
+			for g := range pins[load] {
+				if !hasGuardEdge(b, g, load) {
+					b.AddEdge(ir.Edge{From: g, To: load, Kind: ir.EdgeGuard})
+					rep.GuardEdges++
+				}
+			}
+		}
+	case ModeFence:
+		for _, g := range rep.Guards {
+			b.PinFrom(g)
+		}
+	}
+	return rep
+}
+
+func hasGuardEdge(b *ir.Block, from, to int) bool {
+	for _, e := range b.Edges {
+		if e.Kind == ir.EdgeGuard && e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}

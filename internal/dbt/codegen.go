@@ -1,0 +1,408 @@
+package dbt
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/ir"
+	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/vliw"
+)
+
+// CompileResult bundles the translated code with the mitigation report.
+type CompileResult struct {
+	Block  *vliw.Block
+	Report core.Report
+}
+
+// compileOpts tweaks the back end per block.
+type compileOpts struct {
+	// DisableMemSpec forces memory speculation off (adaptive
+	// retranslation of blocks with recovery storms).
+	DisableMemSpec bool
+}
+
+// compile runs the full back end on one IR block: mitigation, graph
+// construction, list scheduling, syllable emission, recovery-slice
+// generation. guestInsts is the number of guest instructions the block
+// covers.
+func compile(b *ir.Block, guestInsts int, cfg *vliw.Config, mode core.Mode) (*CompileResult, error) {
+	return compileWith(b, guestInsts, cfg, mode, compileOpts{})
+}
+
+func compileWith(b *ir.Block, guestInsts int, cfg *vliw.Config, mode core.Mode, opts compileOpts) (*CompileResult, error) {
+	if err := b.Verify(); err != nil {
+		return nil, err
+	}
+	rep := core.Apply(b, mode)
+
+	try := func(ctrlSpec, memSpec bool) (*vliw.Block, error) {
+		memSpec = memSpec && !opts.DisableMemSpec
+		g, err := buildGraph(b, cfg, ctrlSpec, memSpec)
+		if err != nil {
+			return nil, err
+		}
+		place, numBundles, err := g.schedule()
+		if err != nil {
+			return nil, err
+		}
+		return g.emit(place, numBundles, guestInsts)
+	}
+	blk, err := try(true, true)
+	if err == errHiddenOverflow {
+		blk, err = try(false, true) // no branch speculation
+	}
+	if err == errHiddenOverflow {
+		blk, err = try(false, false) // no speculation at all
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{Block: blk, Report: rep}, nil
+}
+
+// destPhys returns the physical destination register of an instruction
+// node (hidden when speculative, architectural otherwise, 0 if none).
+func (g *graph) destPhys(i int) uint8 {
+	nd := &g.nodes[i]
+	if nd.hiddenDest {
+		return nd.hidden
+	}
+	d := g.b.Insts[i].DestArch
+	if d > 0 {
+		return uint8(d)
+	}
+	return 0
+}
+
+// operandPhys resolves an IR operand to a physical register.
+func (g *graph) operandPhys(op ir.Operand) uint8 {
+	switch op.Kind {
+	case ir.OpRegIn:
+		return op.Reg
+	case ir.OpInst:
+		return g.destPhys(op.Inst)
+	}
+	return 0
+}
+
+// syllable materialises the VLIW operation for a node.
+func (g *graph) syllable(id int) (vliw.Syllable, error) {
+	nd := &g.nodes[id]
+	switch nd.kind {
+	case nChk:
+		return vliw.Syllable{Kind: vliw.KChk, Tag: nd.tag, Rec: -1, GuestPC: g.b.Insts[nd.irIdx].PC}, nil
+	case nCommit:
+		src := &g.nodes[nd.irIdx]
+		return vliw.Syllable{
+			Kind:    vliw.KCommit,
+			Dst:     uint8(g.b.Insts[nd.irIdx].DestArch),
+			Ra:      src.hidden,
+			GuestPC: g.b.Insts[nd.irIdx].PC,
+		}, nil
+	}
+
+	in := &g.b.Insts[nd.irIdx]
+	s := vliw.Syllable{Kind: nd.sylKind, Op: in.Op, GuestPC: in.PC}
+	switch nd.sylKind {
+	case vliw.KNop: // fence: ordering only
+
+	case vliw.KMovI:
+		s.Dst = g.destPhys(nd.irIdx)
+		s.Imm = in.Imm
+
+	case vliw.KAluRR:
+		s.Dst = g.destPhys(nd.irIdx)
+		s.Ra = g.operandPhys(in.A)
+		s.Rb = g.operandPhys(in.B)
+
+	case vliw.KAluRI:
+		s.Dst = g.destPhys(nd.irIdx)
+		s.Ra = g.operandPhys(in.A)
+		s.Imm = in.Imm
+
+	case vliw.KLoad, vliw.KLoadD, vliw.KLoadS:
+		s.Dst = g.destPhys(nd.irIdx)
+		s.Ra = g.operandPhys(in.A)
+		s.Imm = in.Imm
+		s.Tag = nd.tag
+
+	case vliw.KStore:
+		s.Ra = g.operandPhys(in.A)
+		s.Rb = g.operandPhys(in.B)
+		s.Imm = in.Imm
+
+	case vliw.KBrExit:
+		s.Ra = g.operandPhys(in.A)
+		s.Rb = g.operandPhys(in.B)
+		s.Imm = int64(in.BranchExit)
+
+	case vliw.KJumpR:
+		s.Ra = g.operandPhys(in.A)
+		s.Imm = in.Imm
+
+	case vliw.KCsr:
+		s.Dst = g.destPhys(nd.irIdx)
+		s.Imm = in.Imm
+
+	case vliw.KFlush:
+		s.Ra = g.operandPhys(in.A)
+
+	default:
+		return s, fmt.Errorf("dbt: cannot emit node kind %v", nd.sylKind)
+	}
+	return s, nil
+}
+
+// emit builds the final vliw.Block: syllables placed into bundles,
+// dependent loads promoted to dismissable form, recovery slices attached
+// to each chk.
+func (g *graph) emit(place []placement, numBundles, guestInsts int) (*vliw.Block, error) {
+	blk := &vliw.Block{
+		EntryPC:    g.b.EntryPC,
+		FallPC:     g.b.FallPC,
+		GuestInsts: guestInsts,
+	}
+	width := g.cfg.Width()
+	blk.Bundles = make([]vliw.Bundle, numBundles)
+	for i := range blk.Bundles {
+		blk.Bundles[i] = make(vliw.Bundle, width)
+	}
+
+	// Forward slices: for each MCB-speculated load, every node data-
+	// dependent on it that executes no later than its chk. Used both for
+	// recovery code and for promoting dependent architectural loads to
+	// dismissable form (their first execution may use an unvalidated
+	// address).
+	sliceOf := make(map[int][]int) // load IR index -> slice node ids (scheduled order)
+	inAnySlice := make(map[int]bool)
+	// Node order for slice propagation: program position then kind rank.
+	order := make([]int, len(g.nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		na, nb := &g.nodes[order[a]], &g.nodes[order[b]]
+		if na.pos != nb.pos {
+			return na.pos < nb.pos
+		}
+		return na.kind.rank() < nb.kind.rank()
+	})
+	for loadIdx, chkID := range g.chkOf {
+		chkCycle := place[chkID].cycle
+		depends := make([]bool, len(g.nodes))
+		depends[loadIdx] = true
+		var slice []int
+		for _, id := range order {
+			nd := &g.nodes[id]
+			dep := depends[id]
+			if !dep {
+				switch nd.kind {
+				case nInst:
+					in := &g.b.Insts[nd.irIdx]
+					if in.A.Kind == ir.OpInst && depends[in.A.Inst] {
+						dep = true
+					}
+					if !in.IsLoad() && in.B.Kind == ir.OpInst && depends[in.B.Inst] {
+						dep = true
+					}
+					if in.IsLoad() && in.B.Kind == ir.OpInst && depends[in.B.Inst] {
+						dep = true
+					}
+				case nCommit:
+					dep = depends[nd.irIdx]
+				case nChk:
+					dep = false // chks are never replayed
+				}
+			}
+			if !dep {
+				continue
+			}
+			depends[id] = true
+			if nd.kind == nChk {
+				continue
+			}
+			if place[id].cycle <= chkCycle {
+				if nd.kind == nInst {
+					in := &g.b.Insts[nd.irIdx]
+					if in.IsStore() || in.IsBranch() || in.Op == riscv.JALR {
+						return nil, fmt.Errorf("dbt: dependent %s scheduled before chk (cycle %d <= %d)", in.Op, place[id].cycle, chkCycle)
+					}
+				}
+				slice = append(slice, id)
+				inAnySlice[id] = true
+			}
+		}
+		sort.SliceStable(slice, func(a, b int) bool {
+			pa, pb := place[slice[a]], place[slice[b]]
+			if pa.cycle != pb.cycle {
+				return pa.cycle < pb.cycle
+			}
+			return pa.slot < pb.slot
+		})
+		sliceOf[loadIdx] = slice
+	}
+
+	// Promote architectural loads that may execute with an unvalidated
+	// address to dismissable form.
+	for id := range g.nodes {
+		nd := &g.nodes[id]
+		if nd.kind == nInst && nd.sylKind == vliw.KLoad && inAnySlice[id] {
+			nd.sylKind = vliw.KLoadD
+		}
+	}
+
+	// Hidden register allocation: linear scan over live ranges. A hidden
+	// value lives from its defining bundle to its last reader — data
+	// consumers, its commit, and (for lds forward slices) the chk whose
+	// recovery may re-read and re-write it.
+	if err := g.allocHidden(place, sliceOf); err != nil {
+		return nil, err
+	}
+
+	// Recovery sequences, one per chk, in tag order for determinism.
+	loads := make([]int, 0, len(g.chkOf))
+	for l := range g.chkOf {
+		loads = append(loads, l)
+	}
+	sort.Ints(loads)
+	recIdx := make(map[int]int16)
+	for _, l := range loads {
+		var rec []vliw.Syllable
+		for _, id := range sliceOf[l] {
+			s, err := g.syllable(id)
+			if err != nil {
+				return nil, err
+			}
+			if id == l {
+				// The failing load re-executes architecturally.
+				s.Kind = vliw.KLoad
+				s.Tag = 0
+			}
+			rec = append(rec, s)
+		}
+		recIdx[l] = int16(len(blk.Recoveries))
+		blk.Recoveries = append(blk.Recoveries, rec)
+	}
+
+	// Place syllables.
+	for id := range g.nodes {
+		s, err := g.syllable(id)
+		if err != nil {
+			return nil, err
+		}
+		if g.nodes[id].kind == nChk {
+			s.Rec = recIdx[g.nodes[id].irIdx]
+		}
+		p := place[id]
+		if blk.Bundles[p.cycle][p.slot].Kind != vliw.KNop {
+			return nil, fmt.Errorf("dbt: slot collision at bundle %d slot %d", p.cycle, p.slot)
+		}
+		blk.Bundles[p.cycle][p.slot] = s
+	}
+	return blk, nil
+}
+
+// allocHidden assigns physical hidden registers (32..63) to every
+// hidden-destination node by linear scan over post-schedule live ranges.
+// Reuse requires the previous value's last use to be strictly before the
+// new definition's bundle, because MCB recovery code re-reads slice
+// values after the write phase of the chk's bundle.
+func (g *graph) allocHidden(place []placement, sliceOf map[int][]int) error {
+	type rng struct {
+		id         int
+		start, end int
+	}
+	end := make(map[int]int)
+	for id := range g.nodes {
+		nd := &g.nodes[id]
+		if nd.kind == nInst && nd.hiddenDest {
+			end[id] = place[id].cycle
+		}
+	}
+	extend := func(id, cycle int) {
+		if e, ok := end[id]; ok && cycle > e {
+			end[id] = cycle
+		}
+	}
+	// Data consumers.
+	for i := range g.b.Insts {
+		in := &g.b.Insts[i]
+		ops := [2]ir.Operand{in.A, in.B}
+		for oi, op := range ops {
+			if oi == 1 && in.IsLoad() {
+				continue
+			}
+			if op.Kind == ir.OpInst {
+				extend(op.Inst, place[i].cycle)
+			}
+		}
+	}
+	// Commits read their instruction's hidden register.
+	for i, m := range g.commitOf {
+		extend(i, place[m].cycle)
+	}
+	// Recovery keeps slice values (and their out-of-slice hidden inputs)
+	// live until the chk.
+	for load, slice := range sliceOf {
+		chkCycle := place[g.chkOf[load]].cycle
+		for _, id := range slice {
+			nd := &g.nodes[id]
+			if nd.kind != nInst {
+				continue
+			}
+			extend(id, chkCycle)
+			in := &g.b.Insts[nd.irIdx]
+			ops := [2]ir.Operand{in.A, in.B}
+			for oi, op := range ops {
+				if oi == 1 && in.IsLoad() {
+					continue
+				}
+				if op.Kind == ir.OpInst {
+					extend(op.Inst, chkCycle)
+				}
+			}
+		}
+	}
+
+	ranges := make([]rng, 0, len(end))
+	for id, e := range end {
+		ranges = append(ranges, rng{id: id, start: place[id].cycle, end: e})
+	}
+	sort.Slice(ranges, func(a, b int) bool {
+		if ranges[a].start != ranges[b].start {
+			return ranges[a].start < ranges[b].start
+		}
+		return ranges[a].id < ranges[b].id
+	})
+
+	free := make([]uint8, 0, vliw.NumRegs-32)
+	for r := uint8(32); r < vliw.NumRegs; r++ {
+		free = append(free, r)
+	}
+	type activeEntry struct {
+		end int
+		reg uint8
+	}
+	var active []activeEntry
+	for _, r := range ranges {
+		kept := active[:0]
+		for _, a := range active {
+			if a.end < r.start {
+				free = append(free, a.reg)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		active = kept
+		if len(free) == 0 {
+			return errHiddenOverflow
+		}
+		reg := free[0]
+		free = free[1:]
+		g.nodes[r.id].hidden = reg
+		active = append(active, activeEntry{end: r.end, reg: reg})
+	}
+	return nil
+}

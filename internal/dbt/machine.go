@@ -1,0 +1,472 @@
+package dbt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ghostbusters/internal/bus"
+	"ghostbusters/internal/cache"
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/guestmem"
+	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/vliw"
+)
+
+// Config describes a complete DBT-based processor instance.
+type Config struct {
+	Mitigation core.Mode
+	Cache      cache.Config
+	Core       vliw.Config
+	Interp     riscv.Timing
+
+	MemBase uint64
+	MemSize uint64
+
+	// HotThreshold executions of a block entry trigger first-pass
+	// translation; TraceThreshold executions trigger superblock/trace
+	// construction along branches whose bias reaches BiasThreshold.
+	HotThreshold     uint64
+	TraceThreshold   uint64
+	BiasThreshold    float64
+	MinBranchProfile uint64 // branch executions before bias is trusted
+
+	MaxTraceInsts int
+	MaxUnroll     int
+
+	// TranslateCost charges the guest this many cycles per translated
+	// instruction. Hybrid-DBT runs the DBT engine on dedicated hardware
+	// concurrently with execution, so the default is 0.
+	TranslateCost uint64
+
+	// AdaptiveRetranslation enables Transmeta-style deoptimisation: a
+	// block whose MCB speculation conflicts on most executions is
+	// retranslated without memory speculation (recovery storms are more
+	// expensive than the speculation is worth). Off by default: the
+	// paper's machines keep speculating, which is what its Spectre v4
+	// attack relies on.
+	AdaptiveRetranslation bool
+	// DeoptWindow and DeoptRatioPct control the deoptimisation trigger:
+	// after DeoptWindow executions, a block is retranslated when
+	// recoveries*100 >= executions*DeoptRatioPct. Defaults: 16 and 50.
+	DeoptWindow   uint64
+	DeoptRatioPct uint64
+
+	DisableTranslation bool // pure interpreter (debugging/reference)
+	DisableTraces      bool // first-pass blocks only
+
+	// MaxCycles aborts runaway guests. 0 means no limit.
+	MaxCycles uint64
+
+	// Trace, when non-nil, receives one line per translated-block
+	// dispatch and per interpreted control transfer (debugging aid used
+	// by gbrun -trace).
+	Trace io.Writer
+
+	// VerifyEncoding round-trips every translated block through the
+	// binary VLIW encoding and executes the decoded form — an integrity
+	// check that the code cache contents are fully representable in the
+	// target ISA (debug builds; small translation-time cost).
+	VerifyEncoding bool
+}
+
+// DefaultConfig returns the standard machine: 4-issue VLIW, 16 KiB data
+// cache, GhostBusters disabled (unsafe baseline).
+func DefaultConfig() Config {
+	return Config{
+		Mitigation:       core.ModeUnsafe,
+		Cache:            cache.DefaultConfig(),
+		Core:             vliw.DefaultConfig(),
+		Interp:           riscv.DefaultTiming(),
+		MemBase:          0x10000,
+		MemSize:          16 << 20,
+		HotThreshold:     10,
+		TraceThreshold:   30,
+		BiasThreshold:    0.9,
+		MinBranchProfile: 8, // must be below HotThreshold: branches stop being interpreted (and profiled) once their block is translated
+		MaxTraceInsts:    48,
+		MaxUnroll:        4,
+		DeoptWindow:      16,
+		DeoptRatioPct:    50,
+		MaxCycles:        4_000_000_000,
+	}
+}
+
+// Stats aggregates machine counters.
+type Stats struct {
+	InterpInsts uint64
+	BlockExecs  uint64
+	Blocks      int // first-pass translations
+	Traces      int
+	Deopts      int // adaptive retranslations (memory speculation off)
+	CompileErrs int
+
+	// From the VLIW core.
+	Bundles    uint64
+	SideExits  uint64
+	Recoveries uint64
+	SpecLoads  uint64
+	SpecSquash uint64
+
+	// Aggregated mitigation reports (static, per translated block).
+	StaticSpecLoads int
+	PatternsFound   int
+	RiskyLoads      int
+	GuardEdges      int
+}
+
+// Result reports a finished guest run.
+type Result struct {
+	Exit    riscv.Event
+	Cycles  uint64
+	Instret uint64
+	Stats   Stats
+}
+
+type transEntry struct {
+	blk     *vliw.Block
+	isTrace bool
+
+	// Adaptive-retranslation bookkeeping.
+	execs     uint64
+	recov     uint64
+	noMemSpec bool
+}
+
+type brStat struct{ taken, total uint64 }
+
+// Machine is the DBT-based processor: guest memory and data cache shared
+// between the software interpreter (cold code, profiling) and the VLIW
+// core (translated code), plus the translation cache.
+type Machine struct {
+	cfg   Config
+	mem   *guestmem.Memory
+	b     *bus.Bus
+	core  *vliw.Core
+	state riscv.State
+	vregs [vliw.NumRegs]uint64
+
+	cycles uint64
+
+	entries  map[uint64]uint64
+	branches map[uint64]*brStat
+	trans    map[uint64]*transEntry
+	noTrans  map[uint64]struct{}
+
+	stats Stats
+}
+
+// New builds a machine; the configuration is validated eagerly.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Cache.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MemSize == 0 {
+		return nil, fmt.Errorf("dbt: MemSize must be positive")
+	}
+	if cfg.BiasThreshold <= 0.5 || cfg.BiasThreshold > 1 {
+		return nil, fmt.Errorf("dbt: BiasThreshold %v out of (0.5, 1]", cfg.BiasThreshold)
+	}
+	mem := guestmem.New(cfg.MemBase, cfg.MemSize)
+	m := &Machine{
+		cfg:      cfg,
+		mem:      mem,
+		b:        bus.New(mem, cfg.Cache),
+		core:     vliw.NewCore(cfg.Core),
+		entries:  make(map[uint64]uint64),
+		branches: make(map[uint64]*brStat),
+		trans:    make(map[uint64]*transEntry),
+		noTrans:  make(map[uint64]struct{}),
+	}
+	return m, nil
+}
+
+// Mem exposes guest memory (test setup, result extraction).
+func (m *Machine) Mem() *guestmem.Memory { return m.mem }
+
+// Bus exposes the memory system (cache inspection in tests).
+func (m *Machine) Bus() *bus.Bus { return m.b }
+
+// Cycles returns the current cycle counter.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// State returns the architectural register state (for inspection).
+func (m *Machine) State() *riscv.State { return &m.state }
+
+// Load places an assembled program into guest memory and points the PC
+// at its entry. The stack pointer is set to the top of memory.
+func (m *Machine) Load(p *riscv.Program) error {
+	for i, w := range p.Text {
+		if err := m.mem.Write(p.TextBase+uint64(4*i), 4, uint64(w)); err != nil {
+			return fmt.Errorf("dbt: loading text: %w", err)
+		}
+	}
+	if len(p.Data) > 0 {
+		if err := m.mem.WriteBytes(p.DataBase, p.Data); err != nil {
+			return fmt.Errorf("dbt: loading data: %w", err)
+		}
+	}
+	m.state = riscv.State{PC: p.Entry}
+	m.state.X[2] = m.mem.Top() - 64 // sp
+	return nil
+}
+
+// oracle reports the biased direction of a profiled branch.
+func (m *Machine) oracle(pc uint64) (taken, follow bool) {
+	st := m.branches[pc]
+	if st == nil || st.total < m.cfg.MinBranchProfile {
+		return false, false
+	}
+	bias := float64(st.taken) / float64(st.total)
+	if bias >= m.cfg.BiasThreshold {
+		return true, true
+	}
+	if 1-bias >= m.cfg.BiasThreshold {
+		return false, true
+	}
+	return false, false
+}
+
+// onEnter profiles a block entry and triggers translation when the
+// thresholds are crossed.
+func (m *Machine) onEnter(pc uint64) {
+	if m.cfg.DisableTranslation {
+		return
+	}
+	if _, bad := m.noTrans[pc]; bad {
+		return
+	}
+	m.entries[pc]++
+	c := m.entries[pc]
+	e := m.trans[pc]
+	switch {
+	case e == nil && c >= m.cfg.HotThreshold:
+		m.translateAt(pc, false)
+	case e != nil && !e.isTrace && !m.cfg.DisableTraces && c >= m.cfg.TraceThreshold:
+		m.translateAt(pc, true)
+	}
+}
+
+func (m *Machine) translateAt(pc uint64, asTrace bool) {
+	m.translateWith(pc, asTrace, false)
+}
+
+func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
+	lim := translateLimits{MaxInsts: m.cfg.MaxTraceInsts, MaxUnroll: m.cfg.MaxUnroll}
+	var orc branchOracle
+	if asTrace {
+		orc = m.oracle
+	} else {
+		lim.MaxInsts = 48 // basic blocks are naturally bounded
+	}
+	irBlk, guestInsts, err := translate(m.b, pc, orc, lim)
+	if err != nil {
+		m.noTrans[pc] = struct{}{}
+		return
+	}
+	opts := compileOpts{DisableMemSpec: noMemSpec}
+	res, err := compileWith(irBlk, guestInsts, &m.cfg.Core, m.cfg.Mitigation, opts)
+	if err != nil {
+		m.stats.CompileErrs++
+		m.noTrans[pc] = struct{}{}
+		return
+	}
+	blk := res.Block
+	if m.cfg.VerifyEncoding {
+		data, err := vliw.EncodeBlock(blk)
+		if err != nil {
+			m.stats.CompileErrs++
+			m.noTrans[pc] = struct{}{}
+			return
+		}
+		decoded, err := vliw.DecodeBlock(data)
+		if err != nil {
+			m.stats.CompileErrs++
+			m.noTrans[pc] = struct{}{}
+			return
+		}
+		blk = decoded // execute the decoded form: the encoding is live
+	}
+	m.trans[pc] = &transEntry{blk: blk, isTrace: asTrace, noMemSpec: noMemSpec}
+	if asTrace {
+		m.stats.Traces++
+	} else {
+		m.stats.Blocks++
+	}
+	m.stats.StaticSpecLoads += res.Report.SpeculativeLoads
+	if res.Report.PatternFound() {
+		m.stats.PatternsFound++
+	}
+	m.stats.RiskyLoads += len(res.Report.RiskyLoads)
+	m.stats.GuardEdges += res.Report.GuardEdges
+	m.cycles += m.cfg.TranslateCost * uint64(guestInsts)
+}
+
+// Run executes the loaded guest until it exits (ecall/ebreak), faults,
+// or exceeds the cycle budget.
+func (m *Machine) Run() (*Result, error) {
+	m.onEnter(m.state.PC)
+	for {
+		if m.cfg.MaxCycles != 0 && m.cycles > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("dbt: cycle budget exceeded (%d)", m.cfg.MaxCycles)
+		}
+		pc := m.state.PC
+		if e := m.trans[pc]; e != nil {
+			if m.cfg.Trace != nil {
+				kind := "block"
+				if e.isTrace {
+					kind = "trace"
+				}
+				fmt.Fprintf(m.cfg.Trace, "[%12d] exec %s @%#x (%d insts, %d bundles)\n",
+					m.cycles, kind, pc, e.blk.GuestInsts, len(e.blk.Bundles))
+			}
+			copy(m.vregs[:32], m.state.X[:])
+			recovBefore := m.core.Stats.Recoveries
+			ei := m.core.Exec(e.blk, &m.vregs, m.b, &m.cycles)
+			copy(m.state.X[:], m.vregs[:32])
+			m.state.X[0] = 0
+			m.stats.BlockExecs++
+			if ei.Fault != nil {
+				return nil, fmt.Errorf("dbt: fault at guest pc %#x: %w", ei.FaultPC, ei.Fault)
+			}
+			e.execs++
+			e.recov += m.core.Stats.Recoveries - recovBefore
+			if m.cfg.AdaptiveRetranslation && !e.noMemSpec &&
+				e.execs >= m.cfg.DeoptWindow &&
+				e.recov*100 >= e.execs*m.cfg.DeoptRatioPct {
+				// Recovery storm: this block's memory speculation loses
+				// more to rollbacks than it gains; retranslate without it
+				// (Transmeta-style adaptive retranslation).
+				m.translateWith(pc, e.isTrace, true)
+				m.stats.Deopts++
+			}
+			m.state.PC = ei.NextPC
+			m.onEnter(ei.NextPC)
+			continue
+		}
+
+		res := riscv.Step(&m.state, m.b, m.cfg.Interp, m.cycles)
+		m.cycles += res.Cycles
+		m.stats.InterpInsts++
+		switch res.Event.Kind {
+		case riscv.EvExit, riscv.EvBreak:
+			return m.result(res.Event), nil
+		case riscv.EvFault:
+			return nil, fmt.Errorf("dbt: fault at guest pc %#x: %w", res.Event.Addr, res.Event.Err)
+		}
+		if res.IsBranch {
+			if m.cfg.Trace != nil && res.Taken {
+				fmt.Fprintf(m.cfg.Trace, "[%12d] interp %s @%#x -> %#x\n",
+					m.cycles, res.Inst.Op, pc, res.Target)
+			}
+			if res.Inst.Op.IsBranch() {
+				st := m.branches[pc]
+				if st == nil {
+					st = &brStat{}
+					m.branches[pc] = st
+				}
+				st.total++
+				if res.Taken {
+					st.taken++
+				}
+			}
+			if res.Taken {
+				m.onEnter(res.Target)
+			}
+		}
+	}
+}
+
+func (m *Machine) result(ev riscv.Event) *Result {
+	s := m.stats
+	cs := m.core.Stats
+	s.Bundles = cs.Bundles
+	s.SideExits = cs.SideExits
+	s.Recoveries = cs.Recoveries
+	s.SpecLoads = cs.SpecLoads
+	s.SpecSquash = cs.SpecSquash
+	return &Result{
+		Exit:    ev,
+		Cycles:  m.cycles,
+		Instret: m.state.Instret + m.core.Instret,
+		Stats:   s,
+	}
+}
+
+// TranslatedAt reports whether pc currently has translated code and
+// whether it is a trace (test introspection).
+func (m *Machine) TranslatedAt(pc uint64) (exists, isTrace bool) {
+	e := m.trans[pc]
+	if e == nil {
+		return false, false
+	}
+	return true, e.isTrace
+}
+
+// BlockAt returns the translated block at pc, for inspection.
+func (m *Machine) BlockAt(pc uint64) *vliw.Block {
+	if e := m.trans[pc]; e != nil {
+		return e.blk
+	}
+	return nil
+}
+
+// DumpIR re-translates the region at pc the same way the DBT engine did
+// (trace when one exists, basic block otherwise) and renders its IR
+// data-flow graph in Graphviz format with the poison analysis overlaid —
+// the paper's Figure 3 for arbitrary guest code.
+func (m *Machine) DumpIR(pc uint64) (string, error) {
+	e := m.trans[pc]
+	asTrace := e != nil && e.isTrace
+	lim := translateLimits{MaxInsts: m.cfg.MaxTraceInsts, MaxUnroll: m.cfg.MaxUnroll}
+	var orc branchOracle
+	if asTrace {
+		orc = m.oracle
+	}
+	irBlk, _, err := translate(m.b, pc, orc, lim)
+	if err != nil {
+		return "", fmt.Errorf("dbt: DumpIR(%#x): %w", pc, err)
+	}
+	rep := core.Analyze(irBlk)
+	poisoned := make(map[int]bool, len(rep.Poisoned))
+	for _, i := range rep.Poisoned {
+		poisoned[i] = true
+	}
+	return irBlk.Dot(poisoned), nil
+}
+
+// HotRegion summarises one translated entry point for profiling output.
+type HotRegion struct {
+	PC         uint64
+	Entries    uint64 // dispatch count
+	GuestInsts int
+	Bundles    int
+	IsTrace    bool
+	Deopted    bool // retranslated without memory speculation
+}
+
+// ProfileReport returns the translated regions sorted by dispatch count,
+// hottest first — the DBT engine's own view of where time goes.
+func (m *Machine) ProfileReport() []HotRegion {
+	out := make([]HotRegion, 0, len(m.trans))
+	for pc, e := range m.trans {
+		out = append(out, HotRegion{
+			PC:         pc,
+			Entries:    m.entries[pc],
+			GuestInsts: e.blk.GuestInsts,
+			Bundles:    len(e.blk.Bundles),
+			IsTrace:    e.isTrace,
+			Deopted:    e.noMemSpec,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Entries != out[b].Entries {
+			return out[a].Entries > out[b].Entries
+		}
+		return out[a].PC < out[b].PC
+	})
+	return out
+}

@@ -1,0 +1,744 @@
+package dbt
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostbusters/internal/ir"
+	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/vliw"
+)
+
+// The scheduler turns a mitigated IR block into a VLIW schedule. It
+// implements the two software speculation mechanisms of the paper:
+//
+//   - branch speculation: instructions hoisted above a side-exit branch
+//     write hidden registers; a commit node at the original program
+//     position publishes the architectural value, so taken exits never
+//     observe hoisted results;
+//   - memory dependency speculation: loads hoisted above stores become
+//     MCB-checked lds operations; a chk node stands at the load's
+//     original position and branches to DBT-generated recovery code on
+//     conflict.
+//
+// Every instruction in the speculative forward slice of an lds (the
+// instructions its recovery may replay) is renamed into a hidden
+// register with a commit after the chk: that keeps recovery replayable
+// even for self-overwriting guest code (add t0, t0, t1) and guarantees
+// the architectural state only ever holds validated values.
+//
+// Relaxable IR edges that survive the mitigation are dropped here; hard
+// edges (including mitigation-inserted guard edges) constrain the list
+// scheduler.
+
+type nodeKind uint8
+
+const (
+	nInst nodeKind = iota
+	nChk
+	nCommit
+)
+
+// rank orders nodes sharing a program position: the instruction, then
+// its chk, then its commit.
+func (k nodeKind) rank() int { return int(k) }
+
+type dep struct {
+	from int
+	lat  uint64
+}
+
+type schedNode struct {
+	kind  nodeKind
+	irIdx int // the IR instruction this node derives from
+	pos   int // program position (IR index)
+
+	preds []dep
+	succs []int
+
+	sylKind vliw.Kind
+	cap     vliw.SlotCap
+	lat     uint64
+	prio    uint64
+
+	specCtrl   bool // may be scheduled above a side-exit branch
+	specMem    bool // lds with MCB tag
+	hiddenDest bool // result goes to a hidden register + commit
+	tag        uint8
+	hidden     uint8 // allocated hidden register when hiddenDest
+}
+
+type graph struct {
+	b     *ir.Block
+	cfg   *vliw.Config
+	nodes []schedNode
+
+	chkOf    map[int]int // load IR index -> chk node id
+	commitOf map[int]int // inst IR index -> commit node id
+
+	droppedStores   map[int][]int // load IR index -> store IR indices speculated across
+	droppedBranches map[int][]int // inst IR index -> branch IR indices speculated across
+}
+
+// errHiddenOverflow asks the caller to retry with less speculation.
+var errHiddenOverflow = fmt.Errorf("dbt: hidden register pressure too high")
+
+// syllKindFor maps an IR instruction to its base syllable kind.
+func syllKindFor(in *ir.Inst) vliw.Kind {
+	switch {
+	case in.IsLoad():
+		return vliw.KLoad
+	case in.IsStore():
+		return vliw.KStore
+	case in.IsBranch():
+		return vliw.KBrExit
+	case in.Op == riscv.JALR:
+		return vliw.KJumpR
+	case in.Op == riscv.CSRRW, in.Op == riscv.CSRRS, in.Op == riscv.CSRRC:
+		return vliw.KCsr
+	case in.Op == riscv.CFLUSH, in.Op == riscv.CFLUSHALL:
+		return vliw.KFlush
+	case in.Op == riscv.FENCE:
+		return vliw.KNop
+	case in.A.Kind == ir.OpNone && in.Op == riscv.ADDI:
+		return vliw.KMovI
+	default:
+		fk, _ := in.Op.Info()
+		if fk == riscv.FmtR {
+			return vliw.KAluRR
+		}
+		return vliw.KAluRI
+	}
+}
+
+// hoistEnabledSet marks the instructions branch speculation applies to:
+// every value-producing instruction (loads and ALU operations). Stores,
+// branches and barriers never move above a side exit; everything else
+// may, writing a hidden register until its commit point — full
+// superblock scheduling, as in Transmeta-style DBT cores.
+func hoistEnabledSet(b *ir.Block) []bool {
+	enabled := make([]bool, len(b.Insts))
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		if in.IsLoad() || (!in.IsStore() && !in.IsBranch() && !in.IsBarrier() && in.Op != riscv.JALR) {
+			enabled[i] = true
+		}
+	}
+	return enabled
+}
+
+// buildGraph assembles the scheduling graph, deciding which relaxable
+// edges to exploit. allowCtrlSpec / allowMemSpec disable the respective
+// speculation mechanisms (fallbacks when hidden registers run out).
+func buildGraph(b *ir.Block, cfg *vliw.Config, allowCtrlSpec, allowMemSpec bool) (*graph, error) {
+	g := &graph{
+		b: b, cfg: cfg,
+		chkOf:           make(map[int]int),
+		commitOf:        make(map[int]int),
+		droppedStores:   make(map[int][]int),
+		droppedBranches: make(map[int][]int),
+	}
+	n := len(b.Insts)
+	enabled := hoistEnabledSet(b)
+
+	// Classify per-instruction speculation.
+	specCtrl := make([]bool, n)
+	specMem := make([]bool, n)
+	tags := make(map[int]uint8)
+	nextTag := 0
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		hasRelCtrl, hasRelMem := false, false
+		for _, e := range b.Edges {
+			if e.To != i || !e.Relaxable {
+				continue
+			}
+			switch e.Kind {
+			case ir.EdgeCtrl:
+				hasRelCtrl = true
+			case ir.EdgeMem:
+				hasRelMem = true
+			}
+		}
+		if allowCtrlSpec && hasRelCtrl && enabled[i] && !in.IsStore() && !in.IsBranch() && !in.IsBarrier() && in.Op != riscv.JALR {
+			specCtrl[i] = true
+		}
+		if allowMemSpec && hasRelMem && in.IsLoad() && nextTag < vliw.MCBEntries {
+			specMem[i] = true
+			tags[i] = uint8(nextTag)
+			nextTag++
+		}
+	}
+
+	// Speculative forward slice of each lds: consumers that may execute
+	// before its chk and therefore may be replayed by recovery code.
+	// Propagation stops at non-speculative loads — those are pinned
+	// behind the chk (validation ordering, below), so neither they nor
+	// their descendants ever run on unvalidated data.
+	isBarrierLoad := func(i int) bool {
+		return b.Insts[i].IsLoad() && !specMem[i] && !specCtrl[i]
+	}
+	closureOf := func(l int) []bool {
+		cl := make([]bool, n)
+		cl[l] = true
+		for i := l + 1; i < n; i++ {
+			if isBarrierLoad(i) {
+				continue
+			}
+			in := &b.Insts[i]
+			if in.A.Kind == ir.OpInst && cl[in.A.Inst] {
+				cl[i] = true
+			}
+			if !in.IsLoad() && in.B.Kind == ir.OpInst && cl[in.B.Inst] {
+				cl[i] = true
+			}
+		}
+		return cl
+	}
+	closures := make(map[int][]bool)
+	inAnyClosure := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if specMem[i] {
+			cl := closureOf(i)
+			closures[i] = cl
+			for m, v := range cl {
+				if v {
+					inAnyClosure[m] = true
+				}
+			}
+		}
+	}
+
+	// A node's result goes to a hidden register (published by a commit
+	// at its original position) when it may execute speculatively —
+	// hoisted above a branch, or part of an lds forward slice — and for
+	// every load: renaming load results decouples them from the WAW/WAR
+	// chains of recycled guest temporaries, which would otherwise
+	// serialize exactly the latency-critical operations. Stores,
+	// branches and barriers never produce register results.
+	hiddenDest := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if b.Insts[i].DestArch <= 0 {
+			continue
+		}
+		if specCtrl[i] || inAnyClosure[i] || b.Insts[i].IsLoad() {
+			hiddenDest[i] = true
+		}
+	}
+
+	// Hidden registers are allocated after scheduling (live-range based
+	// linear scan in emit); here nodes are only marked.
+
+	// Instruction nodes.
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		k := syllKindFor(in)
+		if specMem[i] {
+			k = vliw.KLoadS
+		} else if specCtrl[i] && in.IsLoad() {
+			k = vliw.KLoadD
+		} else if in.IsLoad() && inAnyClosure[i] && !isBarrierLoad(i) {
+			k = vliw.KLoadD // dependent load replayed by recovery: dismissable
+		}
+		node := schedNode{
+			kind: nInst, irIdx: i, pos: i,
+			sylKind:    k,
+			cap:        vliw.CapFor(k, in.Op),
+			specCtrl:   specCtrl[i],
+			specMem:    specMem[i],
+			hiddenDest: hiddenDest[i],
+			tag:        tags[i],
+		}
+		syl := vliw.Syllable{Kind: k, Op: in.Op}
+		node.lat = cfg.Latency(&syl)
+		if node.cap == 0 {
+			node.cap = vliw.CapALU
+		}
+		g.nodes = append(g.nodes, node)
+	}
+
+	addDep := func(to, from int, lat uint64) {
+		if to == from {
+			return
+		}
+		g.nodes[to].preds = append(g.nodes[to].preds, dep{from, lat})
+		g.nodes[from].succs = append(g.nodes[from].succs, to)
+	}
+
+	// IR ordering edges (hard, or relaxable-but-unexploited).
+	for _, e := range b.Edges {
+		if e.Relaxable {
+			switch e.Kind {
+			case ir.EdgeCtrl:
+				if specCtrl[e.To] {
+					g.droppedBranches[e.To] = append(g.droppedBranches[e.To], e.From)
+					continue // exploited: hoisting allowed
+				}
+			case ir.EdgeMem:
+				if specMem[e.To] {
+					g.droppedStores[e.To] = append(g.droppedStores[e.To], e.From)
+					continue // exploited: MCB speculation
+				}
+			}
+		}
+		addDep(e.To, e.From, 1)
+	}
+
+	// Data dependencies from operands.
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		for _, op := range [2]ir.Operand{in.A, in.B} {
+			if op.Kind == ir.OpInst {
+				addDep(i, op.Inst, g.nodes[op.Inst].lat)
+			}
+		}
+	}
+
+	// Helper index lists.
+	var branchPos []int // branches and terminators, in program order
+	var storePos []int
+	var barrierPos []int
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		if in.IsBranch() || in.Op == riscv.JALR {
+			branchPos = append(branchPos, i)
+		}
+		if in.IsStore() {
+			storePos = append(storePos, i)
+		}
+		if in.IsBarrier() {
+			barrierPos = append(barrierPos, i)
+		}
+	}
+
+	// Architectural-register writers, in program order. A writer is a
+	// direct instruction or the commit node of a hidden-destination
+	// instruction; commit node ids are patched in once created.
+	type writer struct {
+		pos     int
+		node    int   // node id; -1 until the commit node exists
+		inst    int   // IR instruction index
+		chkPins []int // chk nodes that must precede this writer
+	}
+	writersOf := map[int8][]writer{}
+	for i := 0; i < n; i++ {
+		d := b.Insts[i].DestArch
+		if d <= 0 {
+			continue
+		}
+		node := i
+		if hiddenDest[i] {
+			node = -1
+		}
+		writersOf[d] = append(writersOf[d], writer{pos: i, node: node, inst: i})
+	}
+	nextWriterAfter := func(r int8, pos int) *writer {
+		for k := range writersOf[r] {
+			if writersOf[r][k].pos > pos {
+				return &writersOf[r][k]
+			}
+		}
+		return nil
+	}
+	firstWriter := func(r int8) *writer {
+		if ws := writersOf[r]; len(ws) > 0 {
+			return &ws[0]
+		}
+		return nil
+	}
+
+	// Chk nodes for MCB-speculated loads.
+	var chkIDs []int
+	for i := 0; i < n; i++ {
+		if !specMem[i] {
+			continue
+		}
+		id := len(g.nodes)
+		g.nodes = append(g.nodes, schedNode{
+			kind: nChk, irIdx: i, pos: i,
+			sylKind: vliw.KChk, cap: vliw.CapALU, lat: 1,
+			tag: tags[i],
+		})
+		g.chkOf[i] = id
+		addDep(id, i, 1) // after the load issues
+		for _, s := range g.droppedStores[i] {
+			addDep(id, s, 1) // after every store it speculated across
+		}
+		for _, bp := range branchPos {
+			if bp < i {
+				addDep(id, bp, 1) // stays in its region
+			} else {
+				addDep(bp, id, 1) // validates before any later exit
+			}
+		}
+		for _, sp := range storePos {
+			if sp > i {
+				addDep(sp, id, 1) // later stores must not hit a stale entry
+			}
+		}
+		for _, bp := range barrierPos {
+			if bp > i {
+				addDep(bp, id, 1)
+			}
+		}
+		for _, prev := range chkIDs {
+			addDep(id, prev, 1) // chks validate in program order
+		}
+		chkIDs = append(chkIDs, id)
+
+		cl := closures[i]
+
+		// Validation ordering: a non-speculative load whose address
+		// derives from this lds must not execute until the chk has
+		// validated (and possibly repaired) it. This is what makes the
+		// GhostBusters guard dependency sound on this backend: a pinned
+		// risky load runs strictly after recovery, so its first
+		// execution never touches a secret-dependent line.
+		for m := i + 1; m < n; m++ {
+			if isBarrierLoad(m) && dependsThrough(b, m, cl) {
+				addDep(m, id, 1)
+			}
+		}
+
+		// Recovery liveness: every out-of-slice architectural input the
+		// slice reads must survive unredefined until the chk. (Slice
+		// results live in hidden registers, so writes need no pinning.)
+		pinWriter := func(w *writer) {
+			if w == nil {
+				return
+			}
+			if w.node >= 0 {
+				addDep(w.node, id, 1)
+			} else {
+				w.chkPins = append(w.chkPins, id)
+			}
+		}
+		for m := 0; m < n; m++ {
+			if !cl[m] {
+				continue
+			}
+			in := &b.Insts[m]
+			ops := [2]ir.Operand{in.A, in.B}
+			for oi, op := range ops {
+				if oi == 1 && in.IsLoad() {
+					continue
+				}
+				switch op.Kind {
+				case ir.OpRegIn:
+					pinWriter(firstWriter(int8(op.Reg)))
+				case ir.OpInst:
+					j := op.Inst
+					if cl[j] || hiddenDest[j] {
+						continue // recomputed in the slice / hidden reg
+					}
+					pinWriter(nextWriterAfter(b.Insts[j].DestArch, j))
+				}
+			}
+		}
+	}
+
+	// Commit nodes for hidden-destination instructions.
+	for i := 0; i < n; i++ {
+		if !hiddenDest[i] {
+			continue
+		}
+		id := len(g.nodes)
+		g.nodes = append(g.nodes, schedNode{
+			kind: nCommit, irIdx: i, pos: i,
+			sylKind: vliw.KCommit, cap: vliw.CapALU, lat: cfg.LatALU,
+		})
+		g.commitOf[i] = id
+		addDep(id, i, g.nodes[i].lat)
+		for _, bp := range branchPos {
+			if bp < i {
+				addDep(id, bp, 1) // not above the branches it crossed
+			} else {
+				addDep(bp, id, 0) // visible at any later exit (same bundle ok)
+			}
+		}
+		// Publish only validated values: after the chk of every lds
+		// whose speculative slice contains this instruction.
+		for l, cl := range closures {
+			if cl[i] {
+				addDep(id, g.chkOf[l], 1)
+			}
+		}
+		// Patch the writer table and apply deferred recovery pins.
+		ws := writersOf[b.Insts[i].DestArch]
+		for k := range ws {
+			if ws[k].inst == i {
+				ws[k].node = id
+				for _, chk := range ws[k].chkPins {
+					addDep(id, chk, 1)
+				}
+				ws[k].chkPins = nil
+			}
+		}
+	}
+
+	// Apply deferred recovery pins that landed on direct writers.
+	for _, ws := range writersOf {
+		for k := range ws {
+			if ws[k].node < 0 {
+				return nil, fmt.Errorf("dbt: writer of x%d at pos %d has no node", ws[k].inst, ws[k].pos)
+			}
+			for _, chk := range ws[k].chkPins {
+				addDep(ws[k].node, chk, 1)
+			}
+			ws[k].chkPins = nil
+		}
+	}
+
+	// WAW ordering between successive writers of each arch register.
+	for _, ws := range writersOf {
+		for k := 1; k < len(ws); k++ {
+			addDep(ws[k].node, ws[k-1].node, 1)
+		}
+	}
+	// WAR: every reader of an architectural value must read before the
+	// next writer of that register.
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		ops := [2]ir.Operand{in.A, in.B}
+		for oi, op := range ops {
+			if oi == 1 && in.IsLoad() {
+				continue
+			}
+			switch op.Kind {
+			case ir.OpRegIn:
+				if w := firstWriter(int8(op.Reg)); w != nil {
+					addDep(w.node, i, 0)
+				}
+			case ir.OpInst:
+				j := op.Inst
+				if hiddenDest[j] {
+					continue // reads a hidden register: no WAR hazard
+				}
+				if w := nextWriterAfter(b.Insts[j].DestArch, j); w != nil {
+					addDep(w.node, i, 0)
+				}
+			}
+		}
+	}
+
+	// Late exits (Transmeta-style): a load hoisted above a side exit is
+	// only useful if it actually issues before the exit resolves, so the
+	// branches it speculated across wait for it. This is what "the load
+	// instruction moved before a conditional branch" means in the
+	// schedule — and it is the window the Spectre v1 attack lives in.
+	// The floor computation keeps the graph acyclic: a branch is never
+	// delayed behind a load that is itself (transitively) forced after
+	// that branch.
+	if len(g.droppedBranches) > 0 {
+		order, err := g.topoOrder()
+		if err != nil {
+			return nil, err
+		}
+		floor := make([]int, len(g.nodes))
+		for i := range floor {
+			floor[i] = -1
+		}
+		isBranchNode := func(id int) bool {
+			nd := &g.nodes[id]
+			if nd.kind != nInst {
+				return false
+			}
+			in := &b.Insts[nd.irIdx]
+			return in.IsBranch() || in.Op == riscv.JALR
+		}
+		for _, id := range order {
+			f := floor[id]
+			for _, p := range g.nodes[id].preds {
+				if isBranchNode(p.from) && g.nodes[p.from].pos > f {
+					f = g.nodes[p.from].pos
+				}
+				if floor[p.from] > f {
+					f = floor[p.from]
+				}
+			}
+			floor[id] = f
+		}
+		for x, brs := range g.droppedBranches {
+			if !b.Insts[x].IsLoad() {
+				continue
+			}
+			for _, bi := range brs {
+				if bi > floor[x] {
+					addDep(bi, x, 1)
+				}
+			}
+		}
+	}
+
+	return g, nil
+}
+
+// dependsThrough reports whether instruction m transitively consumes a
+// value from the closure cl (walking only through its direct operands —
+// m itself is outside cl).
+func dependsThrough(b *ir.Block, m int, cl []bool) bool {
+	in := &b.Insts[m]
+	if in.A.Kind == ir.OpInst && cl[in.A.Inst] {
+		return true
+	}
+	if !in.IsLoad() && in.B.Kind == ir.OpInst && cl[in.B.Inst] {
+		return true
+	}
+	return false
+}
+
+// topoOrder returns a dependency-respecting order, erroring on cycles
+// (which would indicate a construction bug).
+func (g *graph) topoOrder() ([]int, error) {
+	indeg := make([]int, len(g.nodes))
+	for i := range g.nodes {
+		indeg[i] = len(g.nodes[i].preds)
+	}
+	var order []int
+	var ready []int
+	for i := range g.nodes {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		id := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, id)
+		for _, s := range g.nodes[id].succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		return nil, fmt.Errorf("dbt: dependency cycle in scheduling graph (%d/%d ordered)", len(order), len(g.nodes))
+	}
+	return order, nil
+}
+
+// schedule assigns each node a (bundle, slot) by greedy list scheduling:
+// cycle by cycle, highest critical-path priority first, into the least
+// capable free slot that supports the operation.
+type placement struct {
+	cycle int
+	slot  int
+}
+
+func (g *graph) schedule() ([]placement, int, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Critical-path priority.
+	for k := len(order) - 1; k >= 0; k-- {
+		id := order[k]
+		nd := &g.nodes[id]
+		nd.prio = nd.lat
+		for _, s := range nd.succs {
+			if p := g.nodes[s].prio + nd.lat; p > nd.prio {
+				nd.prio = p
+			}
+		}
+	}
+
+	// Slot preference: fewer capabilities first, so ALU work does not
+	// occupy the memory or branch slot needlessly.
+	slotOrder := make([]int, len(g.cfg.Slots))
+	for i := range slotOrder {
+		slotOrder[i] = i
+	}
+	popcount := func(c vliw.SlotCap) int {
+		n := 0
+		for c != 0 {
+			n += int(c & 1)
+			c >>= 1
+		}
+		return n
+	}
+	sort.SliceStable(slotOrder, func(a, b int) bool {
+		return popcount(g.cfg.Slots[slotOrder[a]]) < popcount(g.cfg.Slots[slotOrder[b]])
+	})
+
+	place := make([]placement, len(g.nodes))
+	for i := range place {
+		place[i] = placement{cycle: -1}
+	}
+	unscheduled := len(g.nodes)
+	remaining := make([]int, len(g.nodes))
+	earliest := make([]int, len(g.nodes))
+	for i := range g.nodes {
+		remaining[i] = len(g.nodes[i].preds)
+	}
+
+	var readyList []int
+	for i := range g.nodes {
+		if remaining[i] == 0 {
+			readyList = append(readyList, i)
+		}
+	}
+
+	cycle := 0
+	const maxCycles = 1 << 16
+	for unscheduled > 0 {
+		if cycle > maxCycles {
+			return nil, 0, fmt.Errorf("dbt: scheduler did not converge")
+		}
+		// Candidates whose dependencies are satisfied by this cycle.
+		var cand []int
+		for _, id := range readyList {
+			if place[id].cycle == -1 && earliest[id] <= cycle {
+				cand = append(cand, id)
+			}
+		}
+		sort.SliceStable(cand, func(a, b int) bool {
+			if g.nodes[cand[a]].prio != g.nodes[cand[b]].prio {
+				return g.nodes[cand[a]].prio > g.nodes[cand[b]].prio
+			}
+			return g.nodes[cand[a]].pos < g.nodes[cand[b]].pos
+		})
+		used := make([]bool, len(g.cfg.Slots))
+		for _, id := range cand {
+			nd := &g.nodes[id]
+			for _, s := range slotOrder {
+				if used[s] || g.cfg.Slots[s]&nd.cap == 0 {
+					continue
+				}
+				used[s] = true
+				place[id] = placement{cycle: cycle, slot: s}
+				unscheduled--
+				for _, succ := range nd.succs {
+					remaining[succ]--
+					if remaining[succ] == 0 {
+						readyList = append(readyList, succ)
+					}
+				}
+				break
+			}
+		}
+		// Refresh earliest for nodes that just became ready.
+		for _, id := range readyList {
+			if place[id].cycle != -1 || remaining[id] != 0 {
+				continue
+			}
+			e := 0
+			for _, p := range g.nodes[id].preds {
+				pc := place[p.from].cycle + int(p.lat)
+				if pc > e {
+					e = pc
+				}
+			}
+			earliest[id] = e
+		}
+		cycle++
+	}
+
+	numBundles := 0
+	for _, p := range place {
+		if p.cycle+1 > numBundles {
+			numBundles = p.cycle + 1
+		}
+	}
+	return place, numBundles, nil
+}

@@ -1,0 +1,167 @@
+package guestmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(0x1000, 0x10000)
+	f := func(off uint16, val uint64, szSel uint8) bool {
+		size := []int{1, 2, 4, 8}[szSel%4]
+		addr := 0x1000 + uint64(off)
+		if addr+uint64(size) > m.Top() {
+			// Accesses straddling the top must fault, not wrap.
+			if err := m.Write(addr, size, val); err == nil {
+				return false
+			}
+			return true
+		}
+		if err := m.Write(addr, size, val); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, size)
+		if err != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return got == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New(0, 64)
+	if err := m.Write(0, 8, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.ReadBytes(0, 8)
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, b[i], want[i])
+		}
+	}
+	v, _ := m.Read(2, 2)
+	if v != 0x0506 {
+		t.Fatalf("read(2,2) = %#x", v)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := New(0x1000, 0x100)
+	cases := []struct {
+		addr uint64
+		size int
+	}{
+		{0xFFF, 1},      // below base
+		{0x1100, 1},     // past top
+		{0x10FF, 2},     // straddles top
+		{^uint64(0), 8}, // wraparound
+	}
+	for _, c := range cases {
+		if _, err := m.Read(c.addr, c.size); err == nil {
+			t.Errorf("Read(%#x, %d) should fault", c.addr, c.size)
+		}
+		if err := m.Write(c.addr, c.size, 0); err == nil {
+			t.Errorf("Write(%#x, %d) should fault", c.addr, c.size)
+		}
+	}
+	if _, err := m.Read(0x1000, 8); err != nil {
+		t.Errorf("in-range read faulted: %v", err)
+	}
+	if _, err := m.Read(0x10F8, 8); err != nil {
+		t.Errorf("last-qword read faulted: %v", err)
+	}
+}
+
+func TestProtection(t *testing.T) {
+	m := New(0, 0x1000)
+	if err := m.Write(0x100, 8, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	m.Protect(0x100, 0x108)
+
+	if _, err := m.Read(0x100, 8); err == nil {
+		t.Fatal("protected read should fault")
+	}
+	// Overlapping partial reads fault too.
+	if _, err := m.Read(0xFC, 8); err == nil {
+		t.Fatal("read overlapping protected region should fault")
+	}
+	if _, err := m.Read(0x104, 1); err == nil {
+		t.Fatal("read inside protected region should fault")
+	}
+	// Adjacent reads are fine.
+	if _, err := m.Read(0x108, 8); err != nil {
+		t.Fatalf("read after region faulted: %v", err)
+	}
+	if _, err := m.Read(0xF8, 8); err != nil {
+		t.Fatalf("read before region faulted: %v", err)
+	}
+	// Writes are not protected (read-protection only).
+	if err := m.Write(0x100, 8, 1); err != nil {
+		t.Fatalf("write to protected region faulted: %v", err)
+	}
+	// Speculative read squashes nothing: value flows.
+	v, ok := m.ReadSpeculative(0x100, 8)
+	if !ok || v != 1 {
+		t.Fatalf("speculative read = %#x ok=%v", v, ok)
+	}
+	// Clearing protection restores access.
+	m.Protect(0, 0)
+	if _, err := m.Read(0x100, 8); err != nil {
+		t.Fatalf("read after unprotect faulted: %v", err)
+	}
+}
+
+func TestReadSpeculativeOutOfRange(t *testing.T) {
+	m := New(0x1000, 0x100)
+	if _, ok := m.ReadSpeculative(0x2000, 8); ok {
+		t.Fatal("out-of-range speculative read should squash")
+	}
+	if _, ok := m.ReadSpeculative(0x1000, 8); !ok {
+		t.Fatal("in-range speculative read should succeed")
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	m := New(0, 64)
+	if err := m.WriteBytes(8, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadBytes(8, 3)
+	if err != nil || b[0] != 1 || b[1] != 2 || b[2] != 3 {
+		t.Fatalf("ReadBytes = %v, %v", b, err)
+	}
+	if err := m.WriteBytes(62, []byte{1, 2, 3}); err == nil {
+		t.Fatal("WriteBytes past end should fault")
+	}
+	if _, err := m.ReadBytes(62, 3); err == nil {
+		t.Fatal("ReadBytes past end should fault")
+	}
+}
+
+func TestReadWord32(t *testing.T) {
+	m := New(0x1000, 64)
+	_ = m.Write(0x1004, 4, 0xDEADBEEF)
+	w, err := m.ReadWord32(0x1004)
+	if err != nil || w != 0xDEADBEEF {
+		t.Fatalf("ReadWord32 = %#x, %v", w, err)
+	}
+	if _, err := m.ReadWord32(0x1040); err == nil {
+		t.Fatal("fetch past end should fault")
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	m := New(0x2000, 0x800)
+	if m.Base() != 0x2000 || m.Size() != 0x800 || m.Top() != 0x2800 {
+		t.Fatalf("geometry: base=%#x size=%#x top=%#x", m.Base(), m.Size(), m.Top())
+	}
+}

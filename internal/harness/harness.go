@@ -1,0 +1,271 @@
+// Package harness drives the paper's experiments: it runs the generated
+// benchmark kernels and the Spectre proof-of-concept applications under
+// each mitigation mode, validates guest results against the native Go
+// references, and renders the evaluation tables (the proof-of-concept
+// matrix of Section V-A and the slowdown comparison of Figure 4,
+// including the fence variant and the pointer-layout matmul of Section
+// V-B).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ghostbusters/internal/attack"
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/kbuild"
+	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/riscv"
+)
+
+// KernelRun is one kernel execution under one configuration.
+type KernelRun struct {
+	Name   string
+	Mode   core.Mode
+	Cycles uint64
+	Stats  dbt.Stats
+}
+
+// RunSpec executes a kernel spec on a fresh machine and validates every
+// output array against the reference. A mismatch is an error: the
+// benchmark harness doubles as an end-to-end correctness check.
+func RunSpec(spec *polybench.Spec, cfg dbt.Config) (*KernelRun, error) {
+	prog, err := riscv.Assemble(spec.Source)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: assemble: %w", spec.Name, err)
+	}
+	m, err := dbt.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Load(prog); err != nil {
+		return nil, err
+	}
+	for _, a := range spec.Arrays {
+		if err := kbuild.InitArray(m.Mem(), prog, a, spec.Inputs[a.Name]); err != nil {
+			return nil, fmt.Errorf("harness: %s: init %s: %w", spec.Name, a.Name, err)
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s (%s): %w", spec.Name, cfg.Mitigation, err)
+	}
+	if res.Exit.Code != 0 {
+		return nil, fmt.Errorf("harness: %s: guest exit code %d", spec.Name, res.Exit.Code)
+	}
+	if res.Stats.CompileErrs != 0 {
+		return nil, fmt.Errorf("harness: %s: %d DBT compile errors", spec.Name, res.Stats.CompileErrs)
+	}
+	for _, out := range spec.Outputs {
+		arr := findArray(spec, out)
+		got, err := kbuild.ReadArray(m.Mem(), prog, arr)
+		if err != nil {
+			return nil, err
+		}
+		want := spec.Expected[out]
+		for i := range want {
+			if got[i] != want[i] {
+				return nil, fmt.Errorf("harness: %s (%s): output %s[%d] = %d, reference %d",
+					spec.Name, cfg.Mitigation, out, i, got[i], want[i])
+			}
+		}
+	}
+	return &KernelRun{Name: spec.Name, Mode: cfg.Mitigation, Cycles: res.Cycles, Stats: res.Stats}, nil
+}
+
+func findArray(spec *polybench.Spec, name string) *kbuild.Array {
+	for _, a := range spec.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Row is one benchmark's cycles and slowdowns across modes.
+type Row struct {
+	Name     string
+	Cycles   map[core.Mode]uint64
+	Slowdown map[core.Mode]float64 // relative to ModeUnsafe
+	Stats    map[core.Mode]dbt.Stats
+}
+
+// Fig4Modes are the modes the paper's Figure 4 compares (plus the fence
+// variant from the text's third experiment).
+var Fig4Modes = []core.Mode{core.ModeUnsafe, core.ModeGhostBusters, core.ModeFence, core.ModeNoSpeculation}
+
+// RunKernel measures one kernel under the given modes.
+func RunKernel(k polybench.Kernel, n int, base dbt.Config, modes []core.Mode) (*Row, error) {
+	if n == 0 {
+		n = k.DefaultN
+	}
+	row := &Row{
+		Name:     k.Name,
+		Cycles:   map[core.Mode]uint64{},
+		Slowdown: map[core.Mode]float64{},
+		Stats:    map[core.Mode]dbt.Stats{},
+	}
+	for _, mode := range modes {
+		spec, err := k.Make(n)
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Mitigation = mode
+		run, err := RunSpec(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Cycles[mode] = run.Cycles
+		row.Stats[mode] = run.Stats
+	}
+	if unsafe, ok := row.Cycles[core.ModeUnsafe]; ok && unsafe > 0 {
+		for mode, c := range row.Cycles {
+			row.Slowdown[mode] = float64(c) / float64(unsafe)
+		}
+	}
+	return row, nil
+}
+
+// RunSpectreApp measures a Spectre PoC application as a benchmark (the
+// paper's Figure 4 includes "Spectre v1" and "Spectre v4" applications).
+func RunSpectreApp(v attack.Variant, base dbt.Config, modes []core.Mode) (*Row, error) {
+	row := &Row{
+		Name:     v.String(),
+		Cycles:   map[core.Mode]uint64{},
+		Slowdown: map[core.Mode]float64{},
+		Stats:    map[core.Mode]dbt.Stats{},
+	}
+	for _, mode := range modes {
+		cfg := base
+		cfg.Mitigation = mode
+		res, err := attack.Run(v, cfg, attack.Params{Secret: []byte{0x5A, 0xC3}})
+		if err != nil {
+			return nil, err
+		}
+		row.Cycles[mode] = res.Cycles
+		row.Stats[mode] = res.Stats
+	}
+	if unsafe := row.Cycles[core.ModeUnsafe]; unsafe > 0 {
+		for mode, c := range row.Cycles {
+			row.Slowdown[mode] = float64(c) / float64(unsafe)
+		}
+	}
+	return row, nil
+}
+
+// Fig4 runs the whole Figure 4 experiment: every Polybench kernel plus
+// the two Spectre applications, under the requested modes.
+func Fig4(base dbt.Config, modes []core.Mode, sizeOverride int) ([]*Row, error) {
+	var rows []*Row
+	for _, k := range polybench.All() {
+		row, err := RunKernel(k, sizeOverride, base, modes)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	for _, v := range []attack.Variant{attack.V1, attack.V4} {
+		row, err := RunSpectreApp(v, base, modes)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GeoMean returns the geometric-mean slowdown for a mode over rows.
+func GeoMean(rows []*Row, mode core.Mode) float64 {
+	prod := 1.0
+	n := 0
+	for _, r := range rows {
+		if s, ok := r.Slowdown[mode]; ok && s > 0 {
+			prod *= s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// FormatRows renders the slowdown table the way Figure 4 reports it
+// (percent of unsafe execution time; lower is better).
+func FormatRows(rows []*Row, modes []core.Mode) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s", "benchmark")
+	for _, m := range modes {
+		fmt.Fprintf(&sb, " %14s", m)
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s", r.Name)
+		for _, m := range modes {
+			if m == core.ModeUnsafe {
+				fmt.Fprintf(&sb, " %11d cy", r.Cycles[m])
+				continue
+			}
+			fmt.Fprintf(&sb, " %13.1f%%", 100*r.Slowdown[m])
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-12s", "geo-mean")
+	for _, m := range modes {
+		if m == core.ModeUnsafe {
+			fmt.Fprintf(&sb, " %14s", "(baseline)")
+			continue
+		}
+		fmt.Fprintf(&sb, " %13.1f%%", 100*GeoMean(rows, m))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// PoCMatrix renders the Section V-A proof-of-concept result matrix.
+func PoCMatrix(base dbt.Config) (string, []attack.MatrixEntry, error) {
+	entries, err := attack.RunMatrix(base, attack.Params{})
+	if err != nil {
+		return "", nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-14s %-10s %-18s %s\n", "attack", "mitigation", "leaked", "bytes", "notes")
+	for _, e := range entries {
+		leaked := "NO"
+		if e.Result.Success() {
+			leaked = "YES"
+		} else if e.Result.BytesCorrect > 0 {
+			leaked = "PARTIAL"
+		}
+		notes := fmt.Sprintf("specloads=%d recoveries=%d patterns=%d",
+			e.Result.Stats.SpecLoads, e.Result.Stats.Recoveries, e.Result.Stats.PatternsFound)
+		fmt.Fprintf(&sb, "%-12s %-14s %-10s %2d/%-15d %s\n",
+			e.Variant, e.Mode, leaked, e.Result.BytesCorrect, len(e.Result.Secret), notes)
+	}
+	return sb.String(), entries, nil
+}
+
+// SortRows orders rows by name for stable output.
+func SortRows(rows []*Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+}
+
+// CSV renders rows machine-readably (one line per benchmark/mode pair):
+// benchmark,mode,cycles,slowdown,spec_loads,recoveries,patterns.
+func CSV(rows []*Row, modes []core.Mode) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,mode,cycles,slowdown,spec_loads,recoveries,patterns_found,risky_loads\n")
+	for _, r := range rows {
+		for _, m := range modes {
+			st := r.Stats[m]
+			fmt.Fprintf(&sb, "%s,%s,%d,%.4f,%d,%d,%d,%d\n",
+				r.Name, m, r.Cycles[m], r.Slowdown[m],
+				st.SpecLoads, st.Recoveries, st.PatternsFound, st.RiskyLoads)
+		}
+	}
+	return sb.String()
+}

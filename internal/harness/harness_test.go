@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"ghostbusters/internal/attack"
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/polybench"
+)
+
+func TestRunSpecValidatesOutputs(t *testing.T) {
+	spec, err := polybench.MakeGemm(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunSpec(spec, dbt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Cycles == 0 || run.Name != "gemm" {
+		t.Fatalf("run = %+v", run)
+	}
+}
+
+func TestRunSpecDetectsWrongReference(t *testing.T) {
+	spec, err := polybench.MakeGemm(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the expected output: RunSpec must fail.
+	spec.Expected["C"][0]++
+	if _, err := RunSpec(spec, dbt.DefaultConfig()); err == nil {
+		t.Fatal("RunSpec accepted a wrong result")
+	}
+}
+
+func TestRunKernelSlowdowns(t *testing.T) {
+	k, err := polybench.ByName("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunKernel(k, 8, dbt.DefaultConfig(), Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Slowdown[core.ModeUnsafe] != 1.0 {
+		t.Fatalf("unsafe slowdown = %v, want 1.0", row.Slowdown[core.ModeUnsafe])
+	}
+	for _, m := range Fig4Modes {
+		if row.Cycles[m] == 0 {
+			t.Fatalf("no cycles for %s", m)
+		}
+		if s := row.Slowdown[m]; s < 0.5 || s > 3 {
+			t.Fatalf("implausible slowdown %v for %s", s, m)
+		}
+	}
+	// NoSpeculation must never beat the speculating baseline on this
+	// load-bound kernel.
+	if row.Slowdown[core.ModeNoSpeculation] < 1.0 {
+		t.Errorf("nospec faster than unsafe: %v", row.Slowdown[core.ModeNoSpeculation])
+	}
+}
+
+func TestRunSpectreApp(t *testing.T) {
+	row, err := RunSpectreApp(attack.V1, dbt.DefaultConfig(), []core.Mode{core.ModeUnsafe, core.ModeGhostBusters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "spectre-v1" || row.Cycles[core.ModeUnsafe] == 0 {
+		t.Fatalf("row = %+v", row)
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	k, _ := polybench.ByName("atax")
+	row, err := RunKernel(k, 8, dbt.DefaultConfig(), Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatRows([]*Row{row}, Fig4Modes)
+	for _, want := range []string{"atax", "geo-mean", "%", "cy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	rows := []*Row{
+		{Slowdown: map[core.Mode]float64{core.ModeNoSpeculation: 2.0}},
+		{Slowdown: map[core.Mode]float64{core.ModeNoSpeculation: 0.5}},
+	}
+	if g := GeoMean(rows, core.ModeNoSpeculation); g < 0.99 || g > 1.01 {
+		t.Fatalf("geomean(2, 0.5) = %v, want 1", g)
+	}
+	if g := GeoMean(nil, core.ModeNoSpeculation); g != 0 {
+		t.Fatalf("geomean(empty) = %v", g)
+	}
+}
+
+func TestPoCMatrixShape(t *testing.T) {
+	table, entries, err := PoCMatrix(dbt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if !strings.Contains(table, "spectre-v1") || !strings.Contains(table, "ghostbusters") {
+		t.Fatalf("table malformed:\n%s", table)
+	}
+	// Count leaks: exactly the two unsafe rows.
+	leaks := 0
+	for _, e := range entries {
+		if e.Result.Success() {
+			leaks++
+			if e.Mode != core.ModeUnsafe {
+				t.Errorf("leak under %s", e.Mode)
+			}
+		}
+	}
+	if leaks != 2 {
+		t.Fatalf("leaks = %d, want 2", leaks)
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	rows := []*Row{{Name: "z"}, {Name: "a"}, {Name: "m"}}
+	SortRows(rows)
+	if rows[0].Name != "a" || rows[2].Name != "z" {
+		t.Fatalf("rows not sorted: %v %v %v", rows[0].Name, rows[1].Name, rows[2].Name)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	k, _ := polybench.ByName("gemm")
+	row, err := RunKernel(k, 8, dbt.DefaultConfig(), []core.Mode{core.ModeUnsafe, core.ModeNoSpeculation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CSV([]*Row{row}, []core.Mode{core.ModeUnsafe, core.ModeNoSpeculation})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want header + 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "gemm,unsafe,") {
+		t.Fatalf("csv row malformed: %s", lines[1])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 7 {
+			t.Fatalf("csv row has %d commas: %s", got, line)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package kbuild
+
+import (
+	"fmt"
+
+	"ghostbusters/internal/guestmem"
+	"ghostbusters/internal/riscv"
+)
+
+// Host-side helpers: the experiment harness initialises kernel inputs by
+// writing guest memory directly before the run (the paper's benchmarks
+// arrive with initialised data; generating init loops in the guest would
+// only add warm-up noise) and reads results back afterwards.
+
+// InitArray writes values into the guest array. For row-pointer arrays
+// it also fills the pointer table.
+func InitArray(mem *guestmem.Memory, prog *riscv.Program, a *Array, values []int64) error {
+	if len(values) != a.Elems() {
+		return fmt.Errorf("kbuild: %s: %d values for %d elements", a.Name, len(values), a.Elems())
+	}
+	if a.Ptr {
+		table, ok := prog.Symbol(a.Name + "_rows")
+		if !ok {
+			return fmt.Errorf("kbuild: %s: missing row table symbol", a.Name)
+		}
+		data, ok := prog.Symbol(a.Name + "_data")
+		if !ok {
+			return fmt.Errorf("kbuild: %s: missing data symbol", a.Name)
+		}
+		for r := 0; r < a.Rows; r++ {
+			rowAddr := data + uint64(r*a.Cols*8)
+			if err := mem.Write(table+uint64(8*r), 8, rowAddr); err != nil {
+				return err
+			}
+		}
+		for i, v := range values {
+			if err := mem.Write(data+uint64(8*i), 8, uint64(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	base, ok := prog.Symbol(a.Name)
+	if !ok {
+		return fmt.Errorf("kbuild: %s: missing symbol", a.Name)
+	}
+	for i, v := range values {
+		if err := mem.Write(base+uint64(8*i), 8, uint64(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadArray fetches the current contents of a guest array.
+func ReadArray(mem *guestmem.Memory, prog *riscv.Program, a *Array) ([]int64, error) {
+	var base uint64
+	var ok bool
+	if a.Ptr {
+		base, ok = prog.Symbol(a.Name + "_data")
+	} else {
+		base, ok = prog.Symbol(a.Name)
+	}
+	if !ok {
+		return nil, fmt.Errorf("kbuild: %s: missing symbol", a.Name)
+	}
+	out := make([]int64, a.Elems())
+	for i := range out {
+		v, err := mem.Read(base+uint64(8*i), 8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}

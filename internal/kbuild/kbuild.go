@@ -1,0 +1,446 @@
+// Package kbuild is a small kernel-builder DSL that generates rv64im
+// assembly for dense integer loop kernels (the Polybench-style workloads
+// of the paper's Figure 4). It deliberately produces straightforward
+// code — materialised addresses, no CSE — leaving the optimisation work
+// to the DBT engine, exactly like the unoptimised guest binaries a
+// DBT-based processor ingests.
+//
+// Arrays are int64. 2-D arrays come in two layouts: flat row-major, and
+// a row-pointer table (Array2DPtr) — the representation the paper
+// switches matrix multiplication to in its last experiment, because the
+// double indirection creates the Spectre pattern in hot loops.
+package kbuild
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Array describes a guest data array.
+type Array struct {
+	Name string
+	Rows int
+	Cols int  // 1 for 1-D
+	Ptr  bool // row-pointer-table layout
+}
+
+// Elems returns the number of int64 elements.
+func (a *Array) Elems() int { return a.Rows * a.Cols }
+
+// Var is a value kept in a callee-saved register for the whole kernel
+// (loop indices, accumulators, cached base pointers).
+type Var struct{ reg string }
+
+// Val is a temporary expression result; it is consumed by the operation
+// that uses it.
+type Val struct{ reg string }
+
+// Op is an operand: an int (immediate), int64, Var, or Val.
+type Op interface{}
+
+// Builder assembles one kernel program.
+type Builder struct {
+	name   string
+	arrays []*Array
+	text   strings.Builder
+	data   strings.Builder
+
+	temps  []string
+	locals []string
+	label  int
+	err    error
+}
+
+// New starts a kernel named name.
+func New(name string) *Builder {
+	b := &Builder{name: name}
+	b.temps = []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "a0", "a1", "a2", "a3", "a4", "a5"}
+	b.locals = []string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "s0"}
+	return b
+}
+
+func (b *Builder) fail(format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kbuild: %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+func (b *Builder) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&b.text, "\t"+format+"\n", args...)
+}
+
+func (b *Builder) newLabel(stem string) string {
+	b.label++
+	return fmt.Sprintf("%s_%s_%d", b.name, stem, b.label)
+}
+
+func (b *Builder) takeTemp() string {
+	if len(b.temps) == 0 {
+		b.fail("out of temporary registers")
+		return "t0"
+	}
+	r := b.temps[0]
+	b.temps = b.temps[1:]
+	return r
+}
+
+func (b *Builder) releaseTemp(r string) {
+	b.temps = append(b.temps, r)
+}
+
+func (b *Builder) takeLocal() string {
+	if len(b.locals) == 0 {
+		b.fail("out of local registers")
+		return "s1"
+	}
+	r := b.locals[0]
+	b.locals = b.locals[1:]
+	return r
+}
+
+// Array declares a 1-D int64 array.
+func (b *Builder) Array(name string, elems int) *Array {
+	a := &Array{Name: name, Rows: elems, Cols: 1}
+	b.arrays = append(b.arrays, a)
+	return a
+}
+
+// Array2D declares a flat row-major 2-D int64 array.
+func (b *Builder) Array2D(name string, rows, cols int) *Array {
+	a := &Array{Name: name, Rows: rows, Cols: cols}
+	b.arrays = append(b.arrays, a)
+	return a
+}
+
+// Array2DPtr declares a 2-D array stored as a table of row pointers —
+// every access becomes a double indirection (the paper's modified
+// matmul representation).
+func (b *Builder) Array2DPtr(name string, rows, cols int) *Array {
+	a := &Array{Name: name, Rows: rows, Cols: cols, Ptr: true}
+	b.arrays = append(b.arrays, a)
+	return a
+}
+
+// operand materialises op into a register. owned reports whether the
+// caller must release it.
+func (b *Builder) operand(op Op) (reg string, owned bool) {
+	switch v := op.(type) {
+	case int:
+		r := b.takeTemp()
+		b.emit("li %s, %d", r, v)
+		return r, true
+	case int64:
+		r := b.takeTemp()
+		b.emit("li %s, %d", r, v)
+		return r, true
+	case Var:
+		return v.reg, false
+	case Val:
+		return v.reg, true
+	default:
+		b.fail("bad operand %T", op)
+		return "zero", false
+	}
+}
+
+func (b *Builder) release(reg string, owned bool) {
+	if owned {
+		b.releaseTemp(reg)
+	}
+}
+
+// Local allocates a callee-saved variable initialised to init.
+func (b *Builder) Local(init Op) Var {
+	r := b.takeLocal()
+	src, owned := b.operand(init)
+	b.emit("mv %s, %s", r, src)
+	b.release(src, owned)
+	return Var{reg: r}
+}
+
+// Set assigns x to local v.
+func (b *Builder) Set(v Var, x Op) {
+	src, owned := b.operand(x)
+	b.emit("mv %s, %s", v.reg, src)
+	b.release(src, owned)
+}
+
+// BasePtr caches an array's base (the row-pointer table for Ptr arrays)
+// in a local register.
+func (b *Builder) BasePtr(a *Array) Var {
+	r := b.takeLocal()
+	b.emit("la %s, %s", r, dataLabel(a))
+	return Var{reg: r}
+}
+
+func dataLabel(a *Array) string {
+	if a.Ptr {
+		return a.Name + "_rows"
+	}
+	return a.Name
+}
+
+// binary emits a three-operand ALU op, reusing an owned input register
+// for the result where possible.
+func (b *Builder) binary(mn string, x, y Op) Val {
+	xr, xo := b.operand(x)
+	yr, yo := b.operand(y)
+	var dst string
+	switch {
+	case xo:
+		dst = xr
+	case yo:
+		dst = yr
+	default:
+		dst = b.takeTemp()
+	}
+	b.emit("%s %s, %s, %s", mn, dst, xr, yr)
+	if xo && dst != xr {
+		b.releaseTemp(xr)
+	}
+	if yo && dst != yr {
+		b.releaseTemp(yr)
+	}
+	return Val{reg: dst}
+}
+
+// Add returns x + y.
+func (b *Builder) Add(x, y Op) Val { return b.binary("add", x, y) }
+
+// Sub returns x - y.
+func (b *Builder) Sub(x, y Op) Val { return b.binary("sub", x, y) }
+
+// Mul returns x * y.
+func (b *Builder) Mul(x, y Op) Val { return b.binary("mul", x, y) }
+
+// Div returns x / y (signed).
+func (b *Builder) Div(x, y Op) Val { return b.binary("div", x, y) }
+
+// And returns x & y.
+func (b *Builder) And(x, y Op) Val { return b.binary("and", x, y) }
+
+// Or returns x | y.
+func (b *Builder) Or(x, y Op) Val { return b.binary("or", x, y) }
+
+// Xor returns x ^ y.
+func (b *Builder) Xor(x, y Op) Val { return b.binary("xor", x, y) }
+
+// Min returns min(x, y) branchlessly (sub / arithmetic-shift mask / and),
+// so kernels stay straight-line inside their loop bodies.
+func (b *Builder) Min(x, y Op) Val {
+	xr, xo := b.operand(x)
+	yr, yo := b.operand(y)
+	d := b.takeTemp()
+	b.emit("sub %s, %s, %s", d, xr, yr) // d = x - y
+	m := b.takeTemp()
+	b.emit("srai %s, %s, 63", m, d)   // m = x < y ? -1 : 0
+	b.emit("and %s, %s, %s", d, d, m) // d = x < y ? x-y : 0
+	b.releaseTemp(m)
+	var dst string
+	switch {
+	case yo:
+		dst = yr
+	case xo:
+		dst = xr
+	default:
+		dst = b.takeTemp()
+	}
+	b.emit("add %s, %s, %s", dst, yr, d) // y + (x-y | 0) = min
+	b.releaseTemp(d)
+	if xo && dst != xr {
+		b.releaseTemp(xr)
+	}
+	if yo && dst != yr {
+		b.releaseTemp(yr)
+	}
+	return Val{reg: dst}
+}
+
+// Shr returns x >> k (arithmetic).
+func (b *Builder) Shr(x Op, k uint) Val {
+	xr, xo := b.operand(x)
+	dst := xr
+	if !xo {
+		dst = b.takeTemp()
+	}
+	b.emit("srai %s, %s, %d", dst, xr, k)
+	return Val{reg: dst}
+}
+
+// AddTo accumulates v += x.
+func (b *Builder) AddTo(v Var, x Op) {
+	xr, xo := b.operand(x)
+	b.emit("add %s, %s, %s", v.reg, v.reg, xr)
+	b.release(xr, xo)
+}
+
+// Drop releases a value without using it.
+func (b *Builder) Drop(v Val) { b.releaseTemp(v.reg) }
+
+// Free returns a local variable's register to the pool (between phases
+// of multi-nest kernels). The variable must not be used afterwards.
+func (b *Builder) Free(v Var) {
+	b.locals = append([]string{v.reg}, b.locals...)
+}
+
+// address computes the element address of a[idx...] into an owned temp.
+// base must be a cached BasePtr local of a.
+func (b *Builder) address(a *Array, base Var, idx []Op) string {
+	switch {
+	case a.Cols == 1 && !a.Ptr:
+		if len(idx) != 1 {
+			b.fail("%s: 1-D array needs one index", a.Name)
+			return b.takeTemp()
+		}
+		ir, io := b.operand(idx[0])
+		addr := b.takeTemp()
+		b.emit("slli %s, %s, 3", addr, ir)
+		b.release(ir, io)
+		b.emit("add %s, %s, %s", addr, addr, base.reg)
+		return addr
+
+	case !a.Ptr:
+		if len(idx) != 2 {
+			b.fail("%s: 2-D array needs two indices", a.Name)
+			return b.takeTemp()
+		}
+		ir, io := b.operand(idx[0])
+		jr, jo := b.operand(idx[1])
+		addr := b.takeTemp()
+		b.emit("li %s, %d", addr, a.Cols)
+		b.emit("mul %s, %s, %s", addr, addr, ir)
+		b.emit("add %s, %s, %s", addr, addr, jr)
+		b.emit("slli %s, %s, 3", addr, addr)
+		b.emit("add %s, %s, %s", addr, addr, base.reg)
+		b.release(ir, io)
+		b.release(jr, jo)
+		return addr
+
+	default:
+		if len(idx) != 2 {
+			b.fail("%s: 2-D array needs two indices", a.Name)
+			return b.takeTemp()
+		}
+		ir, io := b.operand(idx[0])
+		addr := b.takeTemp()
+		// row = rows[i]: the first indirection
+		b.emit("slli %s, %s, 3", addr, ir)
+		b.release(ir, io)
+		b.emit("add %s, %s, %s", addr, addr, base.reg)
+		b.emit("ld %s, 0(%s)", addr, addr)
+		// elem address = row + j*8: the second indirection's address
+		// depends on the first load — the Spectre pattern when both are
+		// speculated.
+		jr, jo := b.operand(idx[1])
+		off := b.takeTemp()
+		b.emit("slli %s, %s, 3", off, jr)
+		b.release(jr, jo)
+		b.emit("add %s, %s, %s", addr, addr, off)
+		b.releaseTemp(off)
+		return addr
+	}
+}
+
+// Load reads a[idx...] via the cached base pointer.
+func (b *Builder) Load(a *Array, base Var, idx ...Op) Val {
+	addr := b.address(a, base, idx)
+	b.emit("ld %s, 0(%s)", addr, addr)
+	return Val{reg: addr}
+}
+
+// Store writes val to a[idx...].
+func (b *Builder) Store(a *Array, base Var, val Op, idx ...Op) {
+	vr, vo := b.operand(val)
+	addr := b.address(a, base, idx)
+	b.emit("sd %s, 0(%s)", vr, addr)
+	b.releaseTemp(addr)
+	b.release(vr, vo)
+}
+
+// For emits a counted loop for idx in [lo, hi) and runs body with the
+// index variable. hi may be an int or a Var (triangular loops).
+func (b *Builder) For(lo int, hi Op, body func(Var)) {
+	idx := Var{reg: b.takeLocal()}
+	var bound Var
+	releaseBound := false
+	switch h := hi.(type) {
+	case int:
+		bound = Var{reg: b.takeLocal()}
+		b.emit("li %s, %d", bound.reg, h)
+		releaseBound = true
+	case Var:
+		bound = h
+	default:
+		b.fail("For: bound must be int or Var, got %T", hi)
+		return
+	}
+	start := b.newLabel("body")
+	check := b.newLabel("check")
+	b.emit("li %s, %d", idx.reg, lo)
+	b.emit("j %s", check)
+	b.text.WriteString(start + ":\n")
+	body(idx)
+	b.emit("addi %s, %s, 1", idx.reg, idx.reg)
+	b.text.WriteString(check + ":\n")
+	b.emit("blt %s, %s, %s", idx.reg, bound.reg, start)
+	// Loop registers are freed for reuse by sibling loops.
+	b.locals = append([]string{idx.reg}, b.locals...)
+	if releaseBound {
+		b.locals = append([]string{bound.reg}, b.locals...)
+	}
+}
+
+// Program finalises the kernel into an assembly source.
+func (b *Builder) Program() (string, error) {
+	if b.err != nil {
+		return "", b.err
+	}
+	var out strings.Builder
+	out.WriteString("\t.data\n")
+	for _, a := range b.arrays {
+		if a.Ptr {
+			fmt.Fprintf(&out, "%s_rows:\t.space %d\n", a.Name, a.Rows*8)
+			fmt.Fprintf(&out, "%s_data:\t.space %d\n", a.Name, a.Elems()*8)
+		} else {
+			fmt.Fprintf(&out, "%s:\t.space %d\n", a.Name, a.Elems()*8)
+		}
+	}
+	out.WriteString("\t.text\nmain:\n")
+	out.WriteString(b.text.String())
+	out.WriteString("\tli a0, 0\n\tecall\n")
+	return out.String(), nil
+}
+
+// Arrays returns the declared arrays (for host-side init and readback).
+func (b *Builder) Arrays() []*Array { return b.arrays }
+
+// Max returns max(x, y) branchlessly (the dual of Min).
+func (b *Builder) Max(x, y Op) Val {
+	xr, xo := b.operand(x)
+	yr, yo := b.operand(y)
+	d := b.takeTemp()
+	b.emit("sub %s, %s, %s", d, xr, yr) // d = x - y
+	m := b.takeTemp()
+	b.emit("srai %s, %s, 63", m, d) // m = x < y ? -1 : 0
+	b.emit("not %s, %s", m, m)      // m = x >= y ? -1 : 0
+	b.emit("and %s, %s, %s", d, d, m)
+	b.releaseTemp(m)
+	var dst string
+	switch {
+	case yo:
+		dst = yr
+	case xo:
+		dst = xr
+	default:
+		dst = b.takeTemp()
+	}
+	b.emit("add %s, %s, %s", dst, yr, d) // y + (x-y if x>=y else 0)
+	b.releaseTemp(d)
+	if xo && dst != xr {
+		b.releaseTemp(xr)
+	}
+	if yo && dst != yr {
+		b.releaseTemp(yr)
+	}
+	return Val{reg: dst}
+}

@@ -1,0 +1,201 @@
+// Package oo7scan implements a static, whole-binary Spectre-gadget
+// scanner in the style of oo7 (Wang et al., "Oo7: Low-overhead Defense
+// against Spectre Attacks via Binary Analysis"), which the paper
+// contrasts with its own approach in Section VI: oo7 must taint-analyse
+// the entire binary because an out-of-order processor speculates across
+// arbitrary control flow, whereas a DBT engine only speculates inside
+// one IR block, so the GhostBusters analysis is block-local.
+//
+// The scanner reconstructs a control-flow graph from the guest text,
+// then walks a bounded speculative window past every conditional branch
+// (following both directions, through fall-throughs, jumps, and calls),
+// tainting the destinations of loads and propagating taint through ALU
+// operations. A memory access whose address depends on a tainted value
+// inside the window is a Spectre-v1-style gadget. The comparison the
+// evaluation makes (see BenchmarkAblation_OO7 and the package tests):
+// the whole-binary scan visits orders of magnitude more instructions
+// than the sum of the DBT engine's block-local analyses for the same
+// detection result.
+package oo7scan
+
+import (
+	"fmt"
+	"sort"
+
+	"ghostbusters/internal/riscv"
+)
+
+// Gadget is one detected Spectre pattern.
+type Gadget struct {
+	BranchPC uint64 // the mistrainable conditional branch
+	Load1PC  uint64 // the speculative load producing the tainted value
+	Load2PC  uint64 // the access using the tainted value as an address
+	Depth    int    // instructions between the branch and Load2
+}
+
+func (g Gadget) String() string {
+	return fmt.Sprintf("branch %#x -> load %#x -> access %#x (depth %d)", g.BranchPC, g.Load1PC, g.Load2PC, g.Depth)
+}
+
+// Report is the scan result.
+type Report struct {
+	Gadgets []Gadget
+	// InstsVisited counts instruction visits during the taint walks —
+	// the analysis cost the paper argues a DBT engine avoids.
+	InstsVisited int
+	// Branches is the number of conditional branches analysed.
+	Branches int
+}
+
+// Config bounds the scan.
+type Config struct {
+	// Window is the speculative depth in instructions explored past
+	// each branch (oo7 uses the reorder-buffer size; default 64).
+	Window int
+	// MaxPaths bounds path enumeration per branch (default 64).
+	MaxPaths int
+}
+
+// DefaultConfig mirrors a 64-entry speculation window.
+func DefaultConfig() Config { return Config{Window: 64, MaxPaths: 64} }
+
+// Scan analyses the whole program.
+func Scan(p *riscv.Program, cfg Config) (*Report, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.MaxPaths <= 0 {
+		cfg.MaxPaths = 64
+	}
+	insts := make(map[uint64]riscv.Inst, len(p.Text))
+	for i, w := range p.Text {
+		insts[p.TextBase+uint64(4*i)] = riscv.Decode(w)
+	}
+
+	rep := &Report{}
+	seen := map[Gadget]bool{}
+	for pc, in := range insts {
+		if !in.Op.IsBranch() {
+			continue
+		}
+		rep.Branches++
+		// Speculation follows the mispredicted direction; the attacker
+		// can mistrain either way, so explore both.
+		for _, start := range []uint64{pc + 4, pc + uint64(in.Imm)} {
+			w := walker{
+				insts:  insts,
+				cfg:    cfg,
+				branch: pc,
+				rep:    rep,
+				seen:   seen,
+			}
+			w.walk(start, taintState{}, 0)
+		}
+	}
+	sort.Slice(rep.Gadgets, func(a, b int) bool {
+		if rep.Gadgets[a].BranchPC != rep.Gadgets[b].BranchPC {
+			return rep.Gadgets[a].BranchPC < rep.Gadgets[b].BranchPC
+		}
+		return rep.Gadgets[a].Load2PC < rep.Gadgets[b].Load2PC
+	})
+	return rep, nil
+}
+
+// taintState tracks, per architectural register, the PC of the
+// speculative load that tainted it (0 = clean).
+type taintState struct {
+	taint [32]uint64
+}
+
+type walker struct {
+	insts  map[uint64]riscv.Inst
+	cfg    Config
+	branch uint64
+	rep    *Report
+	seen   map[Gadget]bool
+	paths  int
+}
+
+// walk explores straight-line speculation from pc with the given taint,
+// depth instructions deep. Control splits fork the walk (bounded).
+func (w *walker) walk(pc uint64, st taintState, depth int) {
+	for depth < w.cfg.Window {
+		in, ok := w.insts[pc]
+		if !ok || in.Op == riscv.OpIllegal {
+			return
+		}
+		w.rep.InstsVisited++
+		depth++
+
+		switch {
+		case in.Op == riscv.ECALL, in.Op == riscv.EBREAK:
+			return // speculation cannot usefully continue past a trap
+
+		case in.Op.IsBranch():
+			// A nested branch: speculation may go either way.
+			if w.paths < w.cfg.MaxPaths {
+				w.paths++
+				w.walk(pc+uint64(in.Imm), st, depth)
+			}
+			pc += 4
+			continue
+
+		case in.Op == riscv.JAL:
+			if in.Rd != 0 {
+				st.taint[in.Rd] = 0 // link register overwritten, clean
+			}
+			pc += uint64(in.Imm)
+			continue
+
+		case in.Op == riscv.JALR:
+			// Indirect target unknown statically: oo7 over-approximates;
+			// we conservatively stop this path (a return).
+			return
+
+		case in.Op.IsLoad():
+			if st.taint[in.Rs1] != 0 {
+				g := Gadget{BranchPC: w.branch, Load1PC: st.taint[in.Rs1], Load2PC: pc, Depth: depth}
+				if !w.seen[g] {
+					w.seen[g] = true
+					w.rep.Gadgets = append(w.rep.Gadgets, g)
+				}
+			}
+			if in.Rd != 0 {
+				// Every load in the window is speculative: taint.
+				st.taint[in.Rd] = pc
+			}
+			pc += 4
+			continue
+
+		case in.Op.IsStore():
+			if st.taint[in.Rs1] != 0 {
+				g := Gadget{BranchPC: w.branch, Load1PC: st.taint[in.Rs1], Load2PC: pc, Depth: depth}
+				if !w.seen[g] {
+					w.seen[g] = true
+					w.rep.Gadgets = append(w.rep.Gadgets, g)
+				}
+			}
+			pc += 4
+			continue
+
+		default:
+			// ALU and CSR: propagate taint through operands.
+			if in.Rd != 0 {
+				var t uint64
+				fk, _ := in.Op.Info()
+				if st.taint[in.Rs1] != 0 {
+					t = st.taint[in.Rs1]
+				}
+				if fk == riscv.FmtR && st.taint[in.Rs2] != 0 {
+					t = st.taint[in.Rs2]
+				}
+				switch in.Op {
+				case riscv.LUI, riscv.AUIPC, riscv.CSRRW, riscv.CSRRS, riscv.CSRRC:
+					t = 0 // constants and CSR reads are clean
+				}
+				st.taint[in.Rd] = t
+			}
+			pc += 4
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package oo7scan
+
+import (
+	"testing"
+
+	"ghostbusters/internal/riscv"
+)
+
+func scan(t *testing.T, src string) *Report {
+	t.Helper()
+	p := riscv.MustAssemble(src)
+	rep, err := Scan(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The Fig. 1 gadget in one function: the scanner must find the
+// branch -> load -> dependent-load chain.
+func TestFindsSpectreV1Gadget(t *testing.T) {
+	src := `
+	.data
+size:	.dword 16
+buffer:	.space 16
+arrayVal: .space 1024
+	.text
+victim:
+	la t0, size
+	ld t0, 0(t0)
+	bgeu a0, t0, out
+	la t1, buffer
+	add t1, t1, a0
+	lbu t2, 0(t1)
+	slli t2, t2, 7
+	la t3, arrayVal
+	add t3, t3, t2
+	lbu t4, 0(t3)
+out:
+	ret
+`
+	rep := scan(t, src)
+	if len(rep.Gadgets) == 0 {
+		t.Fatal("gadget not found")
+	}
+	p := riscv.MustAssemble(src)
+	// la expands to two instructions, then ld, then the bounds check.
+	branchPC := p.MustSymbol("victim") + 12
+	found := false
+	for _, g := range rep.Gadgets {
+		if g.BranchPC == branchPC {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no gadget anchored at the bounds check: %v", rep.Gadgets)
+	}
+}
+
+// The whole-binary property the paper contrasts with: the gadget may be
+// split across a call boundary (the secret load in a helper, the leak
+// in the caller) — exactly why oo7 must analyse everything.
+func TestFindsGadgetAcrossCall(t *testing.T) {
+	src := `
+	.data
+buffer:	.space 16
+arrayVal: .space 1024
+	.text
+caller:
+	bgeu a0, t0, out
+	call helper          # returns buffer[a0] in a1
+	slli a1, a1, 7
+	la t3, arrayVal
+	add t3, t3, a1
+	lbu t4, 0(t3)
+out:
+	ret
+helper:
+	la t1, buffer
+	add t1, t1, a0
+	lbu a1, 0(t1)
+	ret
+`
+	rep := scan(t, src)
+	// The helper ends in ret (jalr): the conservative walker stops
+	// there, so this specific split is NOT found — demonstrating the
+	// precision limits of static whole-binary analysis that the DBT
+	// engine sidesteps entirely (it sees the actual trace).
+	_ = rep
+	// A jump-linked (tail-call) version IS visible statically:
+	src2 := `
+	.data
+buffer:	.space 16
+arrayVal: .space 1024
+	.text
+caller:
+	bgeu a0, t0, out
+	j helper
+back:
+	slli a1, a1, 7
+	la t3, arrayVal
+	add t3, t3, a1
+	lbu t4, 0(t3)
+out:
+	ret
+helper:
+	la t1, buffer
+	add t1, t1, a0
+	lbu a1, 0(t1)
+	j back
+`
+	rep2 := scan(t, src2)
+	if len(rep2.Gadgets) == 0 {
+		t.Fatal("cross-block gadget (via jumps) not found")
+	}
+}
+
+func TestNoFalsePositiveOnAffineKernel(t *testing.T) {
+	// Flat affine loop: loads never feed addresses.
+	src := `
+	.data
+a:	.space 512
+b:	.space 512
+	.text
+main:
+	la s0, a
+	la s1, b
+	li s2, 0
+loop:
+	slli t0, s2, 3
+	add t1, s0, t0
+	ld t2, 0(t1)
+	add t3, s1, t0
+	sd t2, 0(t3)
+	addi s2, s2, 1
+	li t4, 64
+	blt s2, t4, loop
+	li a0, 0
+	ecall
+`
+	rep := scan(t, src)
+	if len(rep.Gadgets) != 0 {
+		t.Fatalf("false positives: %v", rep.Gadgets)
+	}
+	if rep.Branches == 0 {
+		t.Fatal("no branches analysed")
+	}
+}
+
+func TestPointerChasingIsFlagged(t *testing.T) {
+	src := `
+	.data
+table:	.space 64
+	.text
+main:
+	blt a0, a1, body
+	ret
+body:
+	la t0, table
+	ld t1, 0(t0)       # load a pointer
+	ld t2, 0(t1)       # dereference it: tainted address
+	ret
+`
+	rep := scan(t, src)
+	if len(rep.Gadgets) == 0 {
+		t.Fatal("pointer chase under a branch not flagged")
+	}
+}
+
+func TestTaintedStoreAddressFlagged(t *testing.T) {
+	src := `
+	.data
+table:	.space 64
+	.text
+main:
+	blt a0, a1, body
+	ret
+body:
+	la t0, table
+	ld t1, 0(t0)
+	sd a0, 0(t1)       # store through a tainted pointer
+	ret
+`
+	rep := scan(t, src)
+	if len(rep.Gadgets) == 0 {
+		t.Fatal("tainted store address not flagged")
+	}
+}
+
+func TestWindowBoundsSearch(t *testing.T) {
+	// The dependent access sits beyond a tiny window: not reported.
+	src := `
+	.data
+table:	.space 64
+	.text
+main:
+	blt a0, a1, body
+	ret
+body:
+	la t0, table
+	ld t1, 0(t0)
+	addi t2, t2, 1
+	addi t2, t2, 1
+	addi t2, t2, 1
+	addi t2, t2, 1
+	ld t3, 0(t1)
+	ret
+`
+	p := riscv.MustAssemble(src)
+	small, err := Scan(p, Config{Window: 4, MaxPaths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Gadgets) != 0 {
+		t.Fatalf("gadget beyond the window reported: %v", small.Gadgets)
+	}
+	large, err := Scan(p, Config{Window: 32, MaxPaths: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(large.Gadgets) == 0 {
+		t.Fatal("gadget inside the window missed")
+	}
+}
+
+func TestCleanOverwriteClearsTaint(t *testing.T) {
+	src := `
+	.data
+table:	.space 64
+	.text
+main:
+	blt a0, a1, body
+	ret
+body:
+	la t0, table
+	ld t1, 0(t0)
+	li t1, 8           # clean constant overwrites the taint
+	ld t3, 0(t1)
+	ret
+`
+	rep := scan(t, src)
+	if len(rep.Gadgets) != 0 {
+		t.Fatalf("stale taint after clean overwrite: %v", rep.Gadgets)
+	}
+}
+
+func TestVisitCountReflectsWholeBinaryCost(t *testing.T) {
+	// Build a program with many branches: the visit count must scale
+	// with branches x window, the cost the paper says DBT avoids.
+	src := "main:\n"
+	for i := 0; i < 20; i++ {
+		src += "\taddi t0, t0, 1\n\tblt t0, t1, main\n"
+	}
+	src += "\tecall\n"
+	rep := scan(t, src)
+	if rep.Branches != 20 {
+		t.Fatalf("branches = %d", rep.Branches)
+	}
+	if rep.InstsVisited < 20*40 {
+		t.Fatalf("visited only %d instructions; expected a whole-binary blowup", rep.InstsVisited)
+	}
+}

@@ -1,0 +1,135 @@
+package polybench
+
+import "ghostbusters/internal/kbuild"
+
+// Stencil kernels. Jacobi variants compute into a second array and swap
+// roles each step; Seidel updates in place, which creates store-to-load
+// dependencies the memory speculation must handle (and sometimes roll
+// back on).
+
+const stencilSteps = 8
+
+// MakeJacobi1D builds T iterations of the 3-point Jacobi smoother.
+func MakeJacobi1D(n int) (*Spec, error) {
+	b := kbuild.New("jacobi1d")
+	A := b.Array("A", n)
+	B2 := b.Array("B", n)
+	bA, bB := b.BasePtr(A), b.BasePtr(B2)
+	step := func(src *kbuild.Array, bs kbuild.Var, dst *kbuild.Array, bd kbuild.Var) {
+		b.For(1, n-1, func(i kbuild.Var) {
+			l := b.Load(src, bs, b.Add(i, -1))
+			c := b.Load(src, bs, i)
+			r := b.Load(src, bs, b.Add(i, 1))
+			s := b.Add(b.Add(l, c), r)
+			b.Store(dst, bd, b.Div(s, 3), i)
+		})
+	}
+	b.For(0, stencilSteps, func(kbuild.Var) {
+		step(A, bA, B2, bB)
+		step(B2, bB, A, bA)
+	})
+	av := fill("jacobi1dA", n)
+	bv := make([]int64, n)
+	in := map[string][]int64{"A": av, "B": bv}
+	return finish("jacobi-1d", n, b, in, []string{"A", "B"}, func(m map[string][]int64) {
+		a, bb := m["A"], m["B"]
+		for t := 0; t < stencilSteps; t++ {
+			for i := 1; i < n-1; i++ {
+				bb[i] = (a[i-1] + a[i] + a[i+1]) / 3
+			}
+			for i := 1; i < n-1; i++ {
+				a[i] = (bb[i-1] + bb[i] + bb[i+1]) / 3
+			}
+		}
+	})
+}
+
+// MakeJacobi2D builds T iterations of the 5-point Jacobi smoother.
+func MakeJacobi2D(n int) (*Spec, error) {
+	b := kbuild.New("jacobi2d")
+	A := b.Array2D("A", n, n)
+	B2 := b.Array2D("B", n, n)
+	bA, bB := b.BasePtr(A), b.BasePtr(B2)
+	step := func(src *kbuild.Array, bs kbuild.Var, dst *kbuild.Array, bd kbuild.Var) {
+		b.For(1, n-1, func(i kbuild.Var) {
+			b.For(1, n-1, func(j kbuild.Var) {
+				c := b.Load(src, bs, i, j)
+				l := b.Load(src, bs, i, b.Add(j, -1))
+				r := b.Load(src, bs, i, b.Add(j, 1))
+				u := b.Load(src, bs, b.Add(i, -1), j)
+				d := b.Load(src, bs, b.Add(i, 1), j)
+				s := b.Add(b.Add(b.Add(b.Add(c, l), r), u), d)
+				b.Store(dst, bd, b.Div(s, 5), i, j)
+			})
+		})
+	}
+	b.For(0, stencilSteps, func(kbuild.Var) {
+		step(A, bA, B2, bB)
+		step(B2, bB, A, bA)
+	})
+	in := map[string][]int64{"A": fill("jacobi2dA", n*n), "B": make([]int64, n*n)}
+	return finish("jacobi-2d", n, b, in, []string{"A", "B"}, func(m map[string][]int64) {
+		a, bb := m["A"], m["B"]
+		ref := func(src, dst []int64) {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					dst[i*n+j] = (src[i*n+j] + src[i*n+j-1] + src[i*n+j+1] + src[(i-1)*n+j] + src[(i+1)*n+j]) / 5
+				}
+			}
+		}
+		for t := 0; t < stencilSteps; t++ {
+			ref(a, bb)
+			ref(bb, a)
+		}
+	})
+}
+
+// MakeSeidel2D builds T iterations of the in-place 9-point Gauss-Seidel
+// sweep: every load of the west/north neighbours reads values stored
+// earlier in the same sweep.
+func MakeSeidel2D(n int) (*Spec, error) {
+	b := kbuild.New("seidel2d")
+	A := b.Array2D("A", n, n)
+	bA := b.BasePtr(A)
+	b.For(0, stencilSteps, func(kbuild.Var) {
+		b.For(1, n-1, func(i kbuild.Var) {
+			b.For(1, n-1, func(j kbuild.Var) {
+				im, ip := b.Add(i, -1), b.Add(i, 1)
+				imv, ipv := b.Local(0), b.Local(0)
+				b.Set(imv, im)
+				b.Set(ipv, ip)
+				jm, jp := b.Add(j, -1), b.Add(j, 1)
+				jmv, jpv := b.Local(0), b.Local(0)
+				b.Set(jmv, jm)
+				b.Set(jpv, jp)
+				s := b.Load(A, bA, imv, jmv)
+				s = b.Add(s, b.Load(A, bA, imv, j))
+				s = b.Add(s, b.Load(A, bA, imv, jpv))
+				s = b.Add(s, b.Load(A, bA, i, jmv))
+				s = b.Add(s, b.Load(A, bA, i, j))
+				s = b.Add(s, b.Load(A, bA, i, jpv))
+				s = b.Add(s, b.Load(A, bA, ipv, jmv))
+				s = b.Add(s, b.Load(A, bA, ipv, j))
+				s = b.Add(s, b.Load(A, bA, ipv, jpv))
+				b.Store(A, bA, b.Div(s, 9), i, j)
+				b.Free(imv)
+				b.Free(ipv)
+				b.Free(jmv)
+				b.Free(jpv)
+			})
+		})
+	})
+	in := map[string][]int64{"A": fill("seidel2dA", n*n)}
+	return finish("seidel-2d", n, b, in, []string{"A"}, func(m map[string][]int64) {
+		a := m["A"]
+		for t := 0; t < stencilSteps; t++ {
+			for i := 1; i < n-1; i++ {
+				for j := 1; j < n-1; j++ {
+					a[i*n+j] = (a[(i-1)*n+j-1] + a[(i-1)*n+j] + a[(i-1)*n+j+1] +
+						a[i*n+j-1] + a[i*n+j] + a[i*n+j+1] +
+						a[(i+1)*n+j-1] + a[(i+1)*n+j] + a[(i+1)*n+j+1]) / 9
+				}
+			}
+		}
+	})
+}

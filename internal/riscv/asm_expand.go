@@ -1,0 +1,430 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// expand turns one source statement into machine instructions, resolving
+// registers, immediates, memory operands, and label references. pc is the
+// address of the first emitted instruction (for pc-relative branches).
+func (a *assembler) expand(s stmt, pc uint64) ([]Inst, error) {
+	reg := func(i int) (uint8, error) {
+		if i >= len(s.args) {
+			return 0, &AsmError{s.line, fmt.Sprintf("%s: missing operand %d", s.mnemonic, i+1)}
+		}
+		r, ok := RegByName(s.args[i])
+		if !ok {
+			return 0, &AsmError{s.line, fmt.Sprintf("%s: bad register %q", s.mnemonic, s.args[i])}
+		}
+		return r, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(s.args) {
+			return 0, &AsmError{s.line, fmt.Sprintf("%s: missing operand %d", s.mnemonic, i+1)}
+		}
+		return a.resolveValue(s.args[i], s.line)
+	}
+	// branch/jump target: label or literal offset
+	target := func(i int) (int64, error) {
+		if i >= len(s.args) {
+			return 0, &AsmError{s.line, fmt.Sprintf("%s: missing target", s.mnemonic)}
+		}
+		arg := s.args[i]
+		if addr, ok := a.symbols[arg]; ok {
+			return int64(addr) - int64(pc), nil
+		}
+		return a.parseImm(arg, s.line)
+	}
+	// off(reg) memory operand
+	memOp := func(i int) (int64, uint8, error) {
+		if i >= len(s.args) {
+			return 0, 0, &AsmError{s.line, fmt.Sprintf("%s: missing memory operand", s.mnemonic)}
+		}
+		arg := s.args[i]
+		open := strings.LastIndexByte(arg, '(')
+		if open < 0 || !strings.HasSuffix(arg, ")") {
+			return 0, 0, &AsmError{s.line, fmt.Sprintf("%s: bad memory operand %q", s.mnemonic, arg)}
+		}
+		base, ok := RegByName(strings.TrimSpace(arg[open+1 : len(arg)-1]))
+		if !ok {
+			return 0, 0, &AsmError{s.line, fmt.Sprintf("%s: bad base register in %q", s.mnemonic, arg)}
+		}
+		offStr := strings.TrimSpace(arg[:open])
+		var off int64
+		if offStr != "" {
+			var err error
+			off, err = a.resolveValue(offStr, s.line)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		return off, base, nil
+	}
+	one := func(in Inst, err error) ([]Inst, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []Inst{in}, nil
+	}
+	need := func(n int) error {
+		if len(s.args) != n {
+			return &AsmError{s.line, fmt.Sprintf("%s: expected %d operands, got %d", s.mnemonic, n, len(s.args))}
+		}
+		return nil
+	}
+
+	// Native mnemonics.
+	if op, ok := opByName[s.mnemonic]; ok {
+		info := opTable[op]
+		switch info.format {
+		case FmtR:
+			switch op {
+			case CFLUSH:
+				if err := need(1); err != nil {
+					return nil, err
+				}
+				rs1, err := reg(0)
+				return one(Inst{Op: op, Rs1: rs1}, err)
+			case CFLUSHALL:
+				if err := need(0); err != nil {
+					return nil, err
+				}
+				return one(Inst{Op: op}, nil)
+			}
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return nil, err
+			}
+			rs2, err := reg(2)
+			return one(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, err)
+
+		case FmtI:
+			if op.IsLoad() || op == JALR {
+				// "ld rd, off(rs1)"; also accept "jalr rd, rs1, imm".
+				if op == JALR && len(s.args) == 3 && !strings.Contains(s.args[1], "(") {
+					rd, err := reg(0)
+					if err != nil {
+						return nil, err
+					}
+					rs1, err := reg(1)
+					if err != nil {
+						return nil, err
+					}
+					iv, err := imm(2)
+					return one(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: iv}, err)
+				}
+				if err := need(2); err != nil {
+					return nil, err
+				}
+				rd, err := reg(0)
+				if err != nil {
+					return nil, err
+				}
+				off, base, err := memOp(1)
+				return one(Inst{Op: op, Rd: rd, Rs1: base, Imm: off}, err)
+			}
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return nil, err
+			}
+			iv, err := imm(2)
+			return one(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: iv}, err)
+
+		case FmtShift64, FmtShift32:
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return nil, err
+			}
+			iv, err := imm(2)
+			return one(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: iv}, err)
+
+		case FmtS:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rs2, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			off, base, err := memOp(1)
+			return one(Inst{Op: op, Rs1: base, Rs2: rs2, Imm: off}, err)
+
+		case FmtB:
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rs1, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			rs2, err := reg(1)
+			if err != nil {
+				return nil, err
+			}
+			off, err := target(2)
+			return one(Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}, err)
+
+		case FmtU:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			iv, err := imm(1)
+			if err != nil {
+				return nil, err
+			}
+			// The operand is the unshifted 20-bit page value (GNU syntax).
+			if iv < -(1<<19) || iv > 0xFFFFF {
+				return nil, &AsmError{s.line, "lui/auipc immediate must be a 20-bit page value"}
+			}
+			return one(Inst{Op: op, Rd: rd, Imm: int64(int32(uint32(iv) << 12))}, nil)
+
+		case FmtJ:
+			// jal rd, target  |  jal target (rd=ra)
+			rd := uint8(1)
+			ti := 0
+			if len(s.args) == 2 {
+				r, err := reg(0)
+				if err != nil {
+					return nil, err
+				}
+				rd = r
+				ti = 1
+			}
+			off, err := target(ti)
+			return one(Inst{Op: JAL, Rd: rd, Imm: off}, err)
+
+		case FmtSys:
+			return one(Inst{Op: op}, need(0))
+
+		case FmtCSR:
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return nil, err
+			}
+			csr, err := imm(1)
+			if err != nil {
+				return nil, err
+			}
+			rs1, err := reg(2)
+			return one(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: csr}, err)
+		}
+	}
+
+	// Pseudo-instructions.
+	switch s.mnemonic {
+	case "nop":
+		return one(Inst{Op: ADDI}, need(0))
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: ADDI, Rd: rd, Rs1: rs}, err)
+	case "not":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: XORI, Rd: rd, Rs1: rs, Imm: -1}, err)
+	case "neg":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: SUB, Rd: rd, Rs2: rs}, err)
+	case "negw":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: SUBW, Rd: rd, Rs2: rs}, err)
+	case "sext.w":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: ADDIW, Rd: rd, Rs1: rs}, err)
+	case "seqz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: SLTIU, Rd: rd, Rs1: rs, Imm: 1}, err)
+	case "snez":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: SLTU, Rd: rd, Rs2: rs}, err)
+	case "sltz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: SLT, Rd: rd, Rs1: rs}, err)
+	case "sgtz":
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		return one(Inst{Op: SLT, Rd: rd, Rs2: rs}, err)
+
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := target(1)
+		if err != nil {
+			return nil, err
+		}
+		switch s.mnemonic {
+		case "beqz":
+			return one(Inst{Op: BEQ, Rs1: rs, Imm: off}, nil)
+		case "bnez":
+			return one(Inst{Op: BNE, Rs1: rs, Imm: off}, nil)
+		case "blez":
+			return one(Inst{Op: BGE, Rs2: rs, Imm: off}, nil)
+		case "bgez":
+			return one(Inst{Op: BGE, Rs1: rs, Imm: off}, nil)
+		case "bltz":
+			return one(Inst{Op: BLT, Rs1: rs, Imm: off}, nil)
+		default: // bgtz
+			return one(Inst{Op: BLT, Rs2: rs, Imm: off}, nil)
+		}
+
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		r1, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := target(2)
+		if err != nil {
+			return nil, err
+		}
+		switch s.mnemonic {
+		case "bgt":
+			return one(Inst{Op: BLT, Rs1: r2, Rs2: r1, Imm: off}, nil)
+		case "ble":
+			return one(Inst{Op: BGE, Rs1: r2, Rs2: r1, Imm: off}, nil)
+		case "bgtu":
+			return one(Inst{Op: BLTU, Rs1: r2, Rs2: r1, Imm: off}, nil)
+		default: // bleu
+			return one(Inst{Op: BGEU, Rs1: r2, Rs2: r1, Imm: off}, nil)
+		}
+
+	case "j", "tail":
+		off, err := target(0)
+		return one(Inst{Op: JAL, Imm: off}, err)
+	case "call":
+		off, err := target(0)
+		return one(Inst{Op: JAL, Rd: 1, Imm: off}, err)
+	case "jr":
+		rs, err := reg(0)
+		return one(Inst{Op: JALR, Rs1: rs}, err)
+	case "ret":
+		return one(Inst{Op: JALR, Rs1: 1}, need(0))
+
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.parseImm(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		return liSeq(rd, v), nil
+
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.resolveValue(s.args[1], s.line)
+		if err != nil {
+			return nil, err
+		}
+		// Absolute addressing: lui+addi always, so the size is fixed.
+		return []Inst{
+			{Op: LUI, Rd: rd, Imm: hi20(v)},
+			{Op: ADDI, Rd: rd, Rs1: rd, Imm: lo12(v)},
+		}, nil
+
+	case "rdcycle":
+		rd, err := reg(0)
+		return one(Inst{Op: CSRRS, Rd: rd, Imm: CSRCycle}, err)
+	case "rdinstret":
+		rd, err := reg(0)
+		return one(Inst{Op: CSRRS, Rd: rd, Imm: CSRInstret}, err)
+	case "csrr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		csr, err := imm(1)
+		return one(Inst{Op: CSRRS, Rd: rd, Imm: csr}, err)
+	}
+
+	return nil, &AsmError{s.line, fmt.Sprintf("unknown mnemonic %q", s.mnemonic)}
+}

@@ -1,0 +1,240 @@
+package riscv_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ghostbusters/internal/riscv"
+)
+
+func TestAssembleSymbolsAndLayout(t *testing.T) {
+	src := `
+	.text
+main:
+	nop
+	nop
+after:
+	ecall
+	.data
+v0:	.dword 7
+v1:	.word 1, 2
+v2:	.byte 0xff
+	.align 3
+v3:	.dword 9
+`
+	p, err := riscv.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.TextBase {
+		t.Errorf("entry = %#x, want text base %#x", p.Entry, p.TextBase)
+	}
+	if got := p.MustSymbol("after"); got != p.TextBase+8 {
+		t.Errorf("after = %#x, want %#x", got, p.TextBase+8)
+	}
+	if got := p.MustSymbol("v1"); got != p.DataBase+8 {
+		t.Errorf("v1 = %#x, want %#x", got, p.DataBase+8)
+	}
+	if got := p.MustSymbol("v3"); got%8 != 0 {
+		t.Errorf("v3 = %#x not 8-aligned", got)
+	}
+	if p.DataBase%0x1000 != 0 || p.DataBase < p.TextBase+uint64(4*len(p.Text)) {
+		t.Errorf("bad data base %#x", p.DataBase)
+	}
+	// data content
+	if p.Data[0] != 7 || p.Data[8] != 1 || p.Data[12] != 2 || p.Data[16] != 0xff {
+		t.Errorf("data bytes wrong: % x", p.Data[:17])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"main:\n\tbadop a0, a1\n",
+		"main:\n\taddi a0, a1\n",        // missing operand
+		"main:\n\taddi a0, a1, 10000\n", // imm out of range
+		"main:\n\tld a0, a1\n",          // bad memory operand
+		"dup:\nnop\ndup:\nnop\n",        // duplicate label
+		"\t.data\n\tnop\n",              // instruction in .data
+		"main:\n\tj nowhere\n",          // undefined label -> parse imm fails
+		"main:\n\tli a0, nope\n",        // li needs constant
+	}
+	for _, src := range cases {
+		if _, err := riscv.Assemble(src); err == nil {
+			t.Errorf("Assemble(%q): expected error", src)
+		}
+	}
+}
+
+func TestAssembleEqu(t *testing.T) {
+	src := `
+	.equ N, 32
+main:
+	li a0, N
+	ecall
+`
+	p := riscv.MustAssemble(src)
+	b := newBus()
+	_, ev, _ := run(t, b, p, 100)
+	if ev.Code != 32 {
+		t.Fatalf("exit = %d, want 32", ev.Code)
+	}
+}
+
+// Property: li materialises arbitrary 64-bit constants exactly.
+func TestLiMaterialization(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	values := []int64{0, 1, -1, 2047, -2048, 2048, -2049, 1 << 12, 1<<31 - 1,
+		-1 << 31, 1 << 31, 0x7FFFF800, 0x7FFFFFFF, -1 << 63, 1<<63 - 1,
+		0x123456789ABCDEF0 - 1<<63, 0x0000444400004444}
+	for i := 0; i < 300; i++ {
+		values = append(values, int64(r.Uint64()))
+	}
+	for _, v := range values {
+		src := "main:\n\tli a0, " + itoa(v) + "\n\tebreak\n"
+		p, err := riscv.Assemble(src)
+		if err != nil {
+			t.Fatalf("li %d: %v", v, err)
+		}
+		b := newBus()
+		st, ev, _ := run(t, b, p, 100)
+		if ev.Kind != riscv.EvBreak {
+			t.Fatalf("li %d: event %+v", v, ev)
+		}
+		if got := int64(st.X[10]); got != v {
+			t.Fatalf("li %d materialised %d", v, got)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v >= 0 {
+		return uitoa(uint64(v))
+	}
+	return "-" + uitoa(uint64(-v)) // careful: -MinInt64 wraps to itself, still correct bits
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestAssembleLaRoundTrip(t *testing.T) {
+	src := `
+	.data
+x:	.space 4096
+y:	.dword 0xabcdef
+	.text
+main:
+	la t0, y
+	ld a0, 0(t0)
+	ebreak
+`
+	p := riscv.MustAssemble(src)
+	b := newBus()
+	st, ev, _ := run(t, b, p, 100)
+	if ev.Kind != riscv.EvBreak || st.X[10] != 0xabcdef {
+		t.Fatalf("la/ld: a0 = %#x, ev %+v", st.X[10], ev)
+	}
+}
+
+func TestAssembleSymbolPlusOffset(t *testing.T) {
+	src := `
+	.data
+arr:	.dword 1, 2, 3
+	.text
+main:
+	la t0, arr+16
+	ld a0, 0(t0)
+	ebreak
+`
+	p := riscv.MustAssemble(src)
+	b := newBus()
+	st, _, _ := run(t, b, p, 100)
+	if st.X[10] != 3 {
+		t.Fatalf("arr+16 load = %d, want 3", st.X[10])
+	}
+}
+
+func TestAssembleHiLo(t *testing.T) {
+	src := `
+	.data
+val:	.dword 55
+	.text
+main:
+	lui t0, %hi(val)
+	ld a0, %lo(val)(t0)
+	ebreak
+`
+	p := riscv.MustAssemble(src)
+	b := newBus()
+	st, _, _ := run(t, b, p, 100)
+	if st.X[10] != 55 {
+		t.Fatalf("%%hi/%%lo load = %d, want 55", st.X[10])
+	}
+}
+
+func TestAssembleAsciz(t *testing.T) {
+	src := `
+	.data
+s:	.asciz "hi\n"
+	.text
+main:	ebreak
+`
+	p := riscv.MustAssemble(src)
+	if string(p.Data[:4]) != "hi\n\x00" {
+		t.Fatalf("asciz = %q", p.Data[:4])
+	}
+}
+
+// Disassembly of every assembled instruction re-assembles to the same word.
+func TestDisasmRoundTrip(t *testing.T) {
+	src := `
+main:
+	addi a0, a1, -5
+	lui t0, 0x12345
+	auipc t1, 0x1
+	ld a2, 16(sp)
+	sb a3, -1(gp)
+	beq a0, a1, main
+	jal ra, main
+	jalr ra, 8(t0)
+	slli s2, s3, 63
+	sraiw s4, s5, 31
+	mulhsu a4, a5, a6
+	divuw a7, s6, s7
+	csrrs t2, 0xc00, zero
+	cflush t3
+	cflushall
+	fence
+	ecall
+	ebreak
+`
+	p := riscv.MustAssemble(src)
+	for i, w := range p.Text {
+		in := riscv.Decode(w)
+		if in.Op == riscv.OpIllegal {
+			t.Fatalf("word %d illegal: %#08x", i, w)
+		}
+		text := riscv.Disasm(in)
+		// Branch/jump offsets disassemble as numeric offsets relative to
+		// the instruction; reassemble in isolation.
+		p2, err := riscv.Assemble("x:\n\t" + text + "\n")
+		if err != nil {
+			t.Fatalf("reassemble %q: %v", text, err)
+		}
+		if p2.Text[0] != w {
+			t.Fatalf("disasm round trip %q: %#08x -> %#08x", text, w, p2.Text[0])
+		}
+	}
+	_ = strings.TrimSpace("")
+}

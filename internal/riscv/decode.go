@@ -1,0 +1,200 @@
+package riscv
+
+// signExtend extends the low n bits of v as a signed value.
+func signExtend(v uint32, n uint) int64 {
+	shift := 64 - n
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit machine word. Unrecognised words decode to an
+// Inst with Op == OpIllegal (Raw preserved) rather than an error, so the
+// interpreter can raise a precise illegal-instruction fault.
+func Decode(w uint32) Inst {
+	in := Inst{Raw: w}
+	opcode := w & 0x7F
+	rd := uint8(w >> 7 & 0x1F)
+	funct3 := w >> 12 & 0x7
+	rs1 := uint8(w >> 15 & 0x1F)
+	rs2 := uint8(w >> 20 & 0x1F)
+	funct7 := w >> 25 & 0x7F
+
+	immI := signExtend(w>>20, 12)
+	immS := signExtend(w>>25<<5|w>>7&0x1F, 12)
+	immB := signExtend((w>>31&1)<<12|(w>>7&1)<<11|(w>>25&0x3F)<<5|(w>>8&0xF)<<1, 13)
+	immU := int64(int32(w & 0xFFFFF000))
+	immJ := signExtend((w>>31&1)<<20|(w>>12&0xFF)<<12|(w>>20&1)<<11|(w>>21&0x3FF)<<1, 21)
+
+	switch opcode {
+	case opcLui:
+		return Inst{Op: LUI, Rd: rd, Imm: immU, Raw: w}
+	case opcAuipc:
+		return Inst{Op: AUIPC, Rd: rd, Imm: immU, Raw: w}
+	case opcJal:
+		return Inst{Op: JAL, Rd: rd, Imm: immJ, Raw: w}
+	case opcJalr:
+		if funct3 != 0 {
+			return in
+		}
+		return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+
+	case opcBranch:
+		var op Op
+		switch funct3 {
+		case 0:
+			op = BEQ
+		case 1:
+			op = BNE
+		case 4:
+			op = BLT
+		case 5:
+			op = BGE
+		case 6:
+			op = BLTU
+		case 7:
+			op = BGEU
+		default:
+			return in
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB, Raw: w}
+
+	case opcLoad:
+		var op Op
+		switch funct3 {
+		case 0:
+			op = LB
+		case 1:
+			op = LH
+		case 2:
+			op = LW
+		case 3:
+			op = LD
+		case 4:
+			op = LBU
+		case 5:
+			op = LHU
+		case 6:
+			op = LWU
+		default:
+			return in
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+
+	case opcStore:
+		var op Op
+		switch funct3 {
+		case 0:
+			op = SB
+		case 1:
+			op = SH
+		case 2:
+			op = SW
+		case 3:
+			op = SD
+		default:
+			return in
+		}
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS, Raw: w}
+
+	case opcOpImm:
+		switch funct3 {
+		case 0:
+			return Inst{Op: ADDI, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+		case 2:
+			return Inst{Op: SLTI, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+		case 3:
+			return Inst{Op: SLTIU, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+		case 4:
+			return Inst{Op: XORI, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+		case 6:
+			return Inst{Op: ORI, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+		case 7:
+			return Inst{Op: ANDI, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+		case 1:
+			if funct7>>1 != 0 {
+				return in
+			}
+			return Inst{Op: SLLI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 0x3F), Raw: w}
+		case 5:
+			switch funct7 >> 1 {
+			case 0x00:
+				return Inst{Op: SRLI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 0x3F), Raw: w}
+			case 0x10:
+				return Inst{Op: SRAI, Rd: rd, Rs1: rs1, Imm: int64(w >> 20 & 0x3F), Raw: w}
+			}
+		}
+		return in
+
+	case opcOpImmW:
+		switch funct3 {
+		case 0:
+			return Inst{Op: ADDIW, Rd: rd, Rs1: rs1, Imm: immI, Raw: w}
+		case 1:
+			if funct7 != 0 {
+				return in
+			}
+			return Inst{Op: SLLIW, Rd: rd, Rs1: rs1, Imm: int64(rs2), Raw: w}
+		case 5:
+			switch funct7 {
+			case 0x00:
+				return Inst{Op: SRLIW, Rd: rd, Rs1: rs1, Imm: int64(rs2), Raw: w}
+			case 0x20:
+				return Inst{Op: SRAIW, Rd: rd, Rs1: rs1, Imm: int64(rs2), Raw: w}
+			}
+		}
+		return in
+
+	case opcOp, opcOpW:
+		for op := ADD; op <= REMUW; op++ {
+			info := opTable[op]
+			if info.format == FmtR && info.opcode == opcode &&
+				info.funct3 == funct3 && info.funct7 == funct7 {
+				return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, Raw: w}
+			}
+		}
+		return in
+
+	case opcMiscM:
+		if funct3 == 0 {
+			return Inst{Op: FENCE, Raw: w}
+		}
+		return in
+
+	case opcSystem:
+		switch funct3 {
+		case 0:
+			switch w >> 20 {
+			case 0:
+				if rd == 0 && rs1 == 0 {
+					return Inst{Op: ECALL, Raw: w}
+				}
+			case 1:
+				if rd == 0 && rs1 == 0 {
+					return Inst{Op: EBREAK, Raw: w}
+				}
+			}
+		case 1:
+			return Inst{Op: CSRRW, Rd: rd, Rs1: rs1, Imm: int64(w >> 20), Raw: w}
+		case 2:
+			return Inst{Op: CSRRS, Rd: rd, Rs1: rs1, Imm: int64(w >> 20), Raw: w}
+		case 3:
+			return Inst{Op: CSRRC, Rd: rd, Rs1: rs1, Imm: int64(w >> 20), Raw: w}
+		}
+		return in
+
+	case opcCustom:
+		if funct7 != 0 || rd != 0 || rs2 != 0 {
+			return in
+		}
+		switch funct3 {
+		case 0:
+			return Inst{Op: CFLUSH, Rs1: rs1, Raw: w}
+		case 1:
+			if rs1 != 0 {
+				return in
+			}
+			return Inst{Op: CFLUSHALL, Raw: w}
+		}
+		return in
+	}
+	return in
+}

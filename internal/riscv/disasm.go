@@ -1,0 +1,48 @@
+package riscv
+
+import "fmt"
+
+// Disasm renders a decoded instruction in assembler syntax. The output
+// round-trips through the assembler for all instruction forms the
+// assembler accepts.
+func Disasm(in Inst) string {
+	if in.Op == OpIllegal || in.Op >= numOps {
+		return fmt.Sprintf(".word %#08x", in.Raw)
+	}
+	info := opTable[in.Op]
+	rd, rs1, rs2 := RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2)
+
+	switch info.format {
+	case FmtR:
+		switch in.Op {
+		case CFLUSH:
+			return fmt.Sprintf("cflush %s", rs1)
+		case CFLUSHALL:
+			return "cflushall"
+		}
+		return fmt.Sprintf("%s %s, %s, %s", info.name, rd, rs1, rs2)
+	case FmtI:
+		if in.Op.IsLoad() {
+			return fmt.Sprintf("%s %s, %d(%s)", info.name, rd, in.Imm, rs1)
+		}
+		if in.Op == JALR {
+			return fmt.Sprintf("jalr %s, %d(%s)", rd, in.Imm, rs1)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", info.name, rd, rs1, in.Imm)
+	case FmtShift64, FmtShift32:
+		return fmt.Sprintf("%s %s, %s, %d", info.name, rd, rs1, in.Imm)
+	case FmtS:
+		return fmt.Sprintf("%s %s, %d(%s)", info.name, rs2, in.Imm, rs1)
+	case FmtB:
+		return fmt.Sprintf("%s %s, %s, %d", info.name, rs1, rs2, in.Imm)
+	case FmtU:
+		return fmt.Sprintf("%s %s, %#x", info.name, rd, uint32(in.Imm)>>12)
+	case FmtJ:
+		return fmt.Sprintf("jal %s, %d", rd, in.Imm)
+	case FmtSys:
+		return info.name
+	case FmtCSR:
+		return fmt.Sprintf("%s %s, %#x, %s", info.name, rd, in.Imm, rs1)
+	}
+	return fmt.Sprintf(".word %#08x", in.Raw)
+}

@@ -1,0 +1,59 @@
+package riscv
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Every encodable op must disassemble to text that reassembles to the
+// identical word (full-ISA round trip, complementing the sample-based
+// test in asm_test.go).
+func TestDisasmFullISARoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for op := Op(1); op < numOps; op++ {
+		for trial := 0; trial < 50; trial++ {
+			in := randInst(r, op)
+			w, err := Encode(in)
+			if err != nil {
+				t.Fatalf("%s: encode: %v", op, err)
+			}
+			text := Disasm(Decode(w))
+			p, err := Assemble("x:\n\t" + text + "\n")
+			if err != nil {
+				t.Fatalf("%s: reassemble %q: %v", op, text, err)
+			}
+			if p.Text[0] != w {
+				t.Fatalf("%s: %q: %#08x -> %#08x", op, text, w, p.Text[0])
+			}
+		}
+	}
+}
+
+func TestDisasmIllegal(t *testing.T) {
+	out := Disasm(Decode(0xFFFFFFFF))
+	if !strings.HasPrefix(out, ".word") {
+		t.Fatalf("illegal word disassembled as %q", out)
+	}
+}
+
+func TestDisasmReadableForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: LD, Rd: 10, Rs1: 2, Imm: 16}, "ld a0, 16(sp)"},
+		{Inst{Op: SD, Rs1: 2, Rs2: 10, Imm: -8}, "sd a0, -8(sp)"},
+		{Inst{Op: ADD, Rd: 5, Rs1: 6, Rs2: 7}, "add t0, t1, t2"},
+		{Inst{Op: BEQ, Rs1: 10, Rs2: 11, Imm: 64}, "beq a0, a1, 64"},
+		{Inst{Op: JALR, Rd: 1, Rs1: 5, Imm: 0}, "jalr ra, 0(t0)"},
+		{Inst{Op: ECALL}, "ecall"},
+		{Inst{Op: CFLUSH, Rs1: 9}, "cflush s1"},
+		{Inst{Op: CFLUSHALL}, "cflushall"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package riscv
+
+import "fmt"
+
+// Encode packs a decoded instruction into its 32-bit machine word.
+// It validates field ranges so the assembler surfaces out-of-range
+// immediates instead of silently producing wrong code.
+func Encode(in Inst) (uint32, error) {
+	if in.Op == OpIllegal || in.Op >= numOps {
+		return 0, fmt.Errorf("riscv: cannot encode illegal op %d", in.Op)
+	}
+	info := opTable[in.Op]
+	if in.Rd > 31 || in.Rs1 > 31 || in.Rs2 > 31 {
+		return 0, fmt.Errorf("riscv: %s: register out of range", info.name)
+	}
+	w := info.opcode
+	rd := uint32(in.Rd)
+	rs1 := uint32(in.Rs1)
+	rs2 := uint32(in.Rs2)
+
+	switch info.format {
+	case FmtR:
+		w |= rd<<7 | info.funct3<<12 | rs1<<15 | rs2<<20 | info.funct7<<25
+
+	case FmtI:
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, fmt.Errorf("riscv: %s: immediate %d out of I-range", info.name, in.Imm)
+		}
+		w |= rd<<7 | info.funct3<<12 | rs1<<15 | uint32(in.Imm&0xFFF)<<20
+
+	case FmtShift64:
+		if in.Imm < 0 || in.Imm > 63 {
+			return 0, fmt.Errorf("riscv: %s: shamt %d out of range", info.name, in.Imm)
+		}
+		w |= rd<<7 | info.funct3<<12 | rs1<<15 | uint32(in.Imm)<<20 | (info.funct7>>1)<<26
+
+	case FmtShift32:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("riscv: %s: shamt %d out of range", info.name, in.Imm)
+		}
+		w |= rd<<7 | info.funct3<<12 | rs1<<15 | uint32(in.Imm)<<20 | info.funct7<<25
+
+	case FmtS:
+		if in.Imm < -2048 || in.Imm > 2047 {
+			return 0, fmt.Errorf("riscv: %s: immediate %d out of S-range", info.name, in.Imm)
+		}
+		imm := uint32(in.Imm & 0xFFF)
+		w |= (imm&0x1F)<<7 | info.funct3<<12 | rs1<<15 | rs2<<20 | (imm>>5)<<25
+
+	case FmtB:
+		if in.Imm < -4096 || in.Imm > 4095 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("riscv: %s: branch offset %d invalid", info.name, in.Imm)
+		}
+		imm := uint32(in.Imm & 0x1FFF)
+		w |= (imm>>11&1)<<7 | (imm>>1&0xF)<<8 | info.funct3<<12 | rs1<<15 | rs2<<20 |
+			(imm>>5&0x3F)<<25 | (imm>>12&1)<<31
+
+	case FmtU:
+		if in.Imm < -(1<<31) || in.Imm >= 1<<31 || in.Imm&0xFFF != 0 {
+			return 0, fmt.Errorf("riscv: %s: U immediate %#x invalid", info.name, in.Imm)
+		}
+		w |= rd<<7 | uint32(in.Imm)&0xFFFFF000
+
+	case FmtJ:
+		if in.Imm < -(1<<20) || in.Imm >= 1<<20 || in.Imm&1 != 0 {
+			return 0, fmt.Errorf("riscv: %s: jump offset %d invalid", info.name, in.Imm)
+		}
+		imm := uint32(in.Imm & 0x1FFFFF)
+		w |= rd<<7 | (imm>>12&0xFF)<<12 | (imm>>11&1)<<20 | (imm>>1&0x3FF)<<21 | (imm>>20&1)<<31
+
+	case FmtSys:
+		w |= info.funct3<<12 | info.funct7<<20
+
+	case FmtCSR:
+		if in.Imm < 0 || in.Imm > 0xFFF {
+			return 0, fmt.Errorf("riscv: %s: csr %#x out of range", info.name, in.Imm)
+		}
+		w |= rd<<7 | info.funct3<<12 | rs1<<15 | uint32(in.Imm)<<20
+
+	default:
+		return 0, fmt.Errorf("riscv: %s: unknown format", info.name)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for instructions known valid by construction.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,342 @@
+// Package riscv implements the RV64IM guest ISA used by the DBT-based
+// processor: instruction encoding and decoding, a two-pass assembler, a
+// disassembler, and a reference in-order interpreter with cycle accounting.
+//
+// The subset matches the paper's evaluation target ("RISC-V binaries using
+// the rv64im ISA"): the full RV64I base, the M extension, the cycle CSR
+// (rdcycle) used for the cache side channel, and a custom cflush
+// instruction standing in for the explicit line-by-line cache flush the
+// paper performs on the RISC-V version of the attack.
+package riscv
+
+import "fmt"
+
+// Op enumerates the decoded operations of the RV64IM subset.
+type Op uint8
+
+const (
+	// OpIllegal is the zero Op; decoding an unknown word yields it.
+	OpIllegal Op = iota
+
+	// RV64I upper-immediate and jumps.
+	LUI
+	AUIPC
+	JAL
+	JALR
+
+	// Conditional branches.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Loads.
+	LB
+	LH
+	LW
+	LD
+	LBU
+	LHU
+	LWU
+
+	// Stores.
+	SB
+	SH
+	SW
+	SD
+
+	// Integer register-immediate.
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+	ADDIW
+	SLLIW
+	SRLIW
+	SRAIW
+
+	// Integer register-register.
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+	ADDW
+	SUBW
+	SLLW
+	SRLW
+	SRAW
+
+	// M extension.
+	MUL
+	MULH
+	MULHSU
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+	MULW
+	DIVW
+	DIVUW
+	REMW
+	REMUW
+
+	// System.
+	FENCE
+	ECALL
+	EBREAK
+	CSRRW
+	CSRRS
+	CSRRC
+
+	// CFLUSH is a custom-0 instruction flushing the data-cache line that
+	// contains the address in rs1. The paper's RISC-V attack flushes the
+	// cache "line by line"; this is the per-line flush primitive.
+	CFLUSH
+	// CFLUSHALL is a custom-0 instruction flushing the whole data cache.
+	CFLUSHALL
+
+	numOps
+)
+
+// Format describes the bit layout of an encoded instruction.
+type Format uint8
+
+const (
+	FmtR Format = iota
+	FmtI
+	FmtS
+	FmtB
+	FmtU
+	FmtJ
+	FmtShift64 // I-format with 6-bit shamt (RV64 shifts)
+	FmtShift32 // I-format with 5-bit shamt (*W shifts)
+	FmtSys     // ecall/ebreak: fixed imm, no operands
+	FmtCSR     // I-format where imm is a CSR number
+)
+
+// CSR numbers implemented by the machine.
+const (
+	CSRCycle   = 0xC00
+	CSRTime    = 0xC01
+	CSRInstret = 0xC02
+)
+
+// opInfo is the per-opcode encoding metadata.
+type opInfo struct {
+	name   string
+	format Format
+	opcode uint32 // 7-bit major opcode
+	funct3 uint32
+	funct7 uint32 // also holds funct6<<1 for 64-bit shifts, imm for Sys
+}
+
+const (
+	opcLoad   = 0x03
+	opcOpImm  = 0x13
+	opcAuipc  = 0x17
+	opcOpImmW = 0x1B
+	opcStore  = 0x23
+	opcOp     = 0x33
+	opcLui    = 0x37
+	opcOpW    = 0x3B
+	opcBranch = 0x63
+	opcJalr   = 0x67
+	opcJal    = 0x6F
+	opcMiscM  = 0x0F
+	opcSystem = 0x73
+	opcCustom = 0x0B // custom-0: cflush / cflushall
+)
+
+var opTable = [numOps]opInfo{
+	LUI:   {"lui", FmtU, opcLui, 0, 0},
+	AUIPC: {"auipc", FmtU, opcAuipc, 0, 0},
+	JAL:   {"jal", FmtJ, opcJal, 0, 0},
+	JALR:  {"jalr", FmtI, opcJalr, 0, 0},
+
+	BEQ:  {"beq", FmtB, opcBranch, 0, 0},
+	BNE:  {"bne", FmtB, opcBranch, 1, 0},
+	BLT:  {"blt", FmtB, opcBranch, 4, 0},
+	BGE:  {"bge", FmtB, opcBranch, 5, 0},
+	BLTU: {"bltu", FmtB, opcBranch, 6, 0},
+	BGEU: {"bgeu", FmtB, opcBranch, 7, 0},
+
+	LB:  {"lb", FmtI, opcLoad, 0, 0},
+	LH:  {"lh", FmtI, opcLoad, 1, 0},
+	LW:  {"lw", FmtI, opcLoad, 2, 0},
+	LD:  {"ld", FmtI, opcLoad, 3, 0},
+	LBU: {"lbu", FmtI, opcLoad, 4, 0},
+	LHU: {"lhu", FmtI, opcLoad, 5, 0},
+	LWU: {"lwu", FmtI, opcLoad, 6, 0},
+
+	SB: {"sb", FmtS, opcStore, 0, 0},
+	SH: {"sh", FmtS, opcStore, 1, 0},
+	SW: {"sw", FmtS, opcStore, 2, 0},
+	SD: {"sd", FmtS, opcStore, 3, 0},
+
+	ADDI:  {"addi", FmtI, opcOpImm, 0, 0},
+	SLTI:  {"slti", FmtI, opcOpImm, 2, 0},
+	SLTIU: {"sltiu", FmtI, opcOpImm, 3, 0},
+	XORI:  {"xori", FmtI, opcOpImm, 4, 0},
+	ORI:   {"ori", FmtI, opcOpImm, 6, 0},
+	ANDI:  {"andi", FmtI, opcOpImm, 7, 0},
+	SLLI:  {"slli", FmtShift64, opcOpImm, 1, 0x00},
+	SRLI:  {"srli", FmtShift64, opcOpImm, 5, 0x00},
+	SRAI:  {"srai", FmtShift64, opcOpImm, 5, 0x20},
+	ADDIW: {"addiw", FmtI, opcOpImmW, 0, 0},
+	SLLIW: {"slliw", FmtShift32, opcOpImmW, 1, 0x00},
+	SRLIW: {"srliw", FmtShift32, opcOpImmW, 5, 0x00},
+	SRAIW: {"sraiw", FmtShift32, opcOpImmW, 5, 0x20},
+
+	ADD:  {"add", FmtR, opcOp, 0, 0x00},
+	SUB:  {"sub", FmtR, opcOp, 0, 0x20},
+	SLL:  {"sll", FmtR, opcOp, 1, 0x00},
+	SLT:  {"slt", FmtR, opcOp, 2, 0x00},
+	SLTU: {"sltu", FmtR, opcOp, 3, 0x00},
+	XOR:  {"xor", FmtR, opcOp, 4, 0x00},
+	SRL:  {"srl", FmtR, opcOp, 5, 0x00},
+	SRA:  {"sra", FmtR, opcOp, 5, 0x20},
+	OR:   {"or", FmtR, opcOp, 6, 0x00},
+	AND:  {"and", FmtR, opcOp, 7, 0x00},
+	ADDW: {"addw", FmtR, opcOpW, 0, 0x00},
+	SUBW: {"subw", FmtR, opcOpW, 0, 0x20},
+	SLLW: {"sllw", FmtR, opcOpW, 1, 0x00},
+	SRLW: {"srlw", FmtR, opcOpW, 5, 0x00},
+	SRAW: {"sraw", FmtR, opcOpW, 5, 0x20},
+
+	MUL:    {"mul", FmtR, opcOp, 0, 0x01},
+	MULH:   {"mulh", FmtR, opcOp, 1, 0x01},
+	MULHSU: {"mulhsu", FmtR, opcOp, 2, 0x01},
+	MULHU:  {"mulhu", FmtR, opcOp, 3, 0x01},
+	DIV:    {"div", FmtR, opcOp, 4, 0x01},
+	DIVU:   {"divu", FmtR, opcOp, 5, 0x01},
+	REM:    {"rem", FmtR, opcOp, 6, 0x01},
+	REMU:   {"remu", FmtR, opcOp, 7, 0x01},
+	MULW:   {"mulw", FmtR, opcOpW, 0, 0x01},
+	DIVW:   {"divw", FmtR, opcOpW, 4, 0x01},
+	DIVUW:  {"divuw", FmtR, opcOpW, 5, 0x01},
+	REMW:   {"remw", FmtR, opcOpW, 6, 0x01},
+	REMUW:  {"remuw", FmtR, opcOpW, 7, 0x01},
+
+	FENCE:  {"fence", FmtSys, opcMiscM, 0, 0},
+	ECALL:  {"ecall", FmtSys, opcSystem, 0, 0},
+	EBREAK: {"ebreak", FmtSys, opcSystem, 0, 1},
+	CSRRW:  {"csrrw", FmtCSR, opcSystem, 1, 0},
+	CSRRS:  {"csrrs", FmtCSR, opcSystem, 2, 0},
+	CSRRC:  {"csrrc", FmtCSR, opcSystem, 3, 0},
+
+	CFLUSH:    {"cflush", FmtR, opcCustom, 0, 0},
+	CFLUSHALL: {"cflushall", FmtR, opcCustom, 1, 0},
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if op == OpIllegal || op >= numOps {
+		return "illegal"
+	}
+	return opTable[op].name
+}
+
+// Info returns the encoding format metadata for op.
+func (op Op) Info() (Format, bool) {
+	if op == OpIllegal || op >= numOps {
+		return 0, false
+	}
+	return opTable[op].format, true
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Op) IsLoad() bool {
+	return op >= LB && op <= LWU
+}
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool {
+	return op >= SB && op <= SD
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool {
+	return op >= BEQ && op <= BGEU
+}
+
+// MemSize returns the access size in bytes for a load or store, or 0.
+func (op Op) MemSize() int {
+	switch op {
+	case LB, LBU, SB:
+		return 1
+	case LH, LHU, SH:
+		return 2
+	case LW, LWU, SW:
+		return 4
+	case LD, SD:
+		return 8
+	}
+	return 0
+}
+
+// Inst is a decoded instruction. Imm holds the sign-extended immediate
+// (the CSR number for CSR ops, the shamt for shift-immediates).
+type Inst struct {
+	Op           Op
+	Rd, Rs1, Rs2 uint8
+	Imm          int64
+	Raw          uint32
+}
+
+func (in Inst) String() string { return Disasm(in) }
+
+// ABI register names, indexed by register number.
+var regNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// RegName returns the ABI name of register r.
+func RegName(r uint8) string {
+	if r < 32 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// regByName maps every accepted register spelling to its number.
+var regByName = func() map[string]uint8 {
+	m := make(map[string]uint8, 96)
+	for i, n := range regNames {
+		m[n] = uint8(i)
+		m[fmt.Sprintf("x%d", i)] = uint8(i)
+	}
+	m["fp"] = 8 // alias for s0
+	return m
+}()
+
+// RegByName resolves an ABI or xN register name.
+func RegByName(name string) (uint8, bool) {
+	r, ok := regByName[name]
+	return r, ok
+}
+
+// opByName maps mnemonics to opcodes, for the assembler.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(numOps))
+	for op := Op(1); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()

@@ -1,0 +1,205 @@
+package vliw
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ghostbusters/internal/riscv"
+)
+
+// Binary encoding of translated blocks. Each syllable packs into one
+// 64-bit word; immediates that do not fit in 16 bits go through a
+// per-block constant pool (the long-immediate mechanism of wide VLIWs).
+// The speculative memory operations keep distinct opcodes in the encoded
+// form, as the paper requires of the VLIW ISA.
+//
+// Word layout (LSB first):
+//
+//	[0:5)   kind      (5 bits)
+//	[5:13)  op        (8 bits)
+//	[13:19) dst       (6 bits)
+//	[19:25) ra        (6 bits)
+//	[25:31) rb        (6 bits)
+//	[31:35) tag       (4 bits)
+//	[35:47) rec+1     (12 bits, 0 = none)
+//	[47]    immPool   (1 = imm is a pool index)
+//	[48:64) imm16 / pool index
+//
+// GuestPC is debug metadata and is not part of the binary encoding.
+const blockMagic = 0x3130574C49564247 // "GBVLIW01", little-endian
+
+// EncodeBlock serialises a block to its binary form.
+func EncodeBlock(b *Block) ([]byte, error) {
+	var pool []uint64
+	poolIdx := make(map[int64]int)
+	encSyll := func(s *Syllable) (uint64, error) {
+		if s.Kind > KCommit {
+			return 0, fmt.Errorf("vliw: cannot encode kind %d", s.Kind)
+		}
+		if s.Dst > 63 || s.Ra > 63 || s.Rb > 63 {
+			return 0, fmt.Errorf("vliw: register out of range in %s", s)
+		}
+		if s.Tag > 15 {
+			return 0, fmt.Errorf("vliw: tag %d out of range", s.Tag)
+		}
+		if s.Rec < -1 || s.Rec >= 1<<12-2 {
+			return 0, fmt.Errorf("vliw: recovery index %d out of range", s.Rec)
+		}
+		w := uint64(s.Kind) | uint64(s.Op)<<5 | uint64(s.Dst)<<13 |
+			uint64(s.Ra)<<19 | uint64(s.Rb)<<25 | uint64(s.Tag)<<31 |
+			uint64(s.Rec+1)<<35
+		if s.Imm >= -(1<<15) && s.Imm < 1<<15 {
+			w |= uint64(uint16(s.Imm)) << 48
+		} else {
+			idx, ok := poolIdx[s.Imm]
+			if !ok {
+				idx = len(pool)
+				pool = append(pool, uint64(s.Imm))
+				poolIdx[s.Imm] = idx
+			}
+			if idx >= 1<<16 {
+				return 0, fmt.Errorf("vliw: constant pool overflow")
+			}
+			w |= 1<<47 | uint64(idx)<<48
+		}
+		return w, nil
+	}
+
+	width := 0
+	if len(b.Bundles) > 0 {
+		width = len(b.Bundles[0])
+	}
+	for i, bun := range b.Bundles {
+		if len(bun) != width {
+			return nil, fmt.Errorf("vliw: bundle %d has width %d, want %d", i, len(bun), width)
+		}
+	}
+
+	var words []uint64
+	words = append(words, blockMagic, b.EntryPC, b.FallPC,
+		uint64(uint32(b.GuestInsts))|uint64(width)<<32,
+		uint64(uint32(len(b.Bundles)))|uint64(uint32(len(b.Recoveries)))<<32)
+	// Reserve header; syllables appended after pool is known? Pool grows
+	// while encoding, so encode syllables first into a scratch list.
+	var body []uint64
+	for _, bun := range b.Bundles {
+		for i := range bun {
+			w, err := encSyll(&bun[i])
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, w)
+		}
+	}
+	for _, rec := range b.Recoveries {
+		body = append(body, uint64(len(rec)))
+		for i := range rec {
+			w, err := encSyll(&rec[i])
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, w)
+		}
+	}
+	words = append(words, body...)
+	words = append(words, uint64(len(pool)))
+	words = append(words, pool...)
+
+	out := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out, nil
+}
+
+// DecodeBlock parses the binary form produced by EncodeBlock.
+func DecodeBlock(data []byte) (*Block, error) {
+	if len(data)%8 != 0 || len(data) < 6*8 {
+		return nil, fmt.Errorf("vliw: truncated block image")
+	}
+	words := make([]uint64, len(data)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	if words[0] != blockMagic {
+		return nil, fmt.Errorf("vliw: bad magic %#x", words[0])
+	}
+	b := &Block{EntryPC: words[1], FallPC: words[2]}
+	b.GuestInsts = int(uint32(words[3]))
+	width := int(words[3] >> 32)
+	nBundles := int(uint32(words[4]))
+	nRec := int(words[4] >> 32)
+
+	need := 5 + nBundles*width
+	pos := 5
+
+	// The pool sits at the end; locate it by walking the recoveries.
+	// First pass: compute body length.
+	rp := need
+	for r := 0; r < nRec; r++ {
+		if rp >= len(words) {
+			return nil, fmt.Errorf("vliw: truncated recovery table")
+		}
+		rp += 1 + int(words[rp])
+	}
+	if rp >= len(words) {
+		return nil, fmt.Errorf("vliw: missing constant pool")
+	}
+	poolLen := int(words[rp])
+	if rp+1+poolLen != len(words) {
+		return nil, fmt.Errorf("vliw: pool length mismatch")
+	}
+	pool := words[rp+1:]
+
+	decSyll := func(w uint64) (Syllable, error) {
+		var s Syllable
+		s.Kind = Kind(w & 0x1F)
+		s.Op = riscv.Op(uint8(w >> 5 & 0xFF))
+		s.Dst = uint8(w >> 13 & 0x3F)
+		s.Ra = uint8(w >> 19 & 0x3F)
+		s.Rb = uint8(w >> 25 & 0x3F)
+		s.Tag = uint8(w >> 31 & 0xF)
+		s.Rec = int16(w>>35&0xFFF) - 1
+		idx := uint16(w >> 48)
+		if w>>47&1 == 1 {
+			if int(idx) >= len(pool) {
+				return s, fmt.Errorf("vliw: pool index %d out of range", idx)
+			}
+			s.Imm = int64(pool[idx])
+		} else {
+			s.Imm = int64(int16(idx))
+		}
+		if s.Kind > KCommit {
+			return s, fmt.Errorf("vliw: bad kind %d", s.Kind)
+		}
+		return s, nil
+	}
+
+	for i := 0; i < nBundles; i++ {
+		bun := make(Bundle, width)
+		for j := 0; j < width; j++ {
+			s, err := decSyll(words[pos])
+			if err != nil {
+				return nil, err
+			}
+			bun[j] = s
+			pos++
+		}
+		b.Bundles = append(b.Bundles, bun)
+	}
+	for r := 0; r < nRec; r++ {
+		n := int(words[pos])
+		pos++
+		rec := make([]Syllable, n)
+		for j := 0; j < n; j++ {
+			s, err := decSyll(words[pos])
+			if err != nil {
+				return nil, err
+			}
+			rec[j] = s
+			pos++
+		}
+		b.Recoveries = append(b.Recoveries, rec)
+	}
+	return b, nil
+}

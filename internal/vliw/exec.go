@@ -1,0 +1,386 @@
+package vliw
+
+import (
+	"fmt"
+
+	"ghostbusters/internal/bus"
+	"ghostbusters/internal/riscv"
+)
+
+// ExitInfo reports how a translated block finished.
+type ExitInfo struct {
+	NextPC   uint64
+	SideExit bool   // a trace side exit was taken (static misprediction)
+	Fault    error  // architectural fault, nil otherwise
+	FaultPC  uint64 // guest PC of the faulting operation
+}
+
+// Stats accumulates dynamic execution counters of the core.
+type Stats struct {
+	Bundles    uint64
+	SideExits  uint64
+	Recoveries uint64 // MCB conflicts that ran recovery code
+	SpecLoads  uint64 // ldd/lds issued
+	SpecSquash uint64 // dismissable loads whose fault was squashed
+}
+
+// Core executes translated blocks in order, bundle by bundle, with the
+// cycle accounting of an in-order VLIW: one cycle per bundle, the whole
+// machine stalls on a cache miss, taken side exits pay a refill penalty,
+// and MCB conflicts pay the DBT-generated recovery sequence.
+//
+// Speculative results carry a poison bit (the NaT-style deferred
+// exception of Transmeta-like machines): a dismissable load whose fault
+// was squashed poisons its destination; poison propagates through ALU
+// operations; any architectural use (store, branch, commit, indirect
+// jump, architectural load address) of a poisoned value raises the fault
+// at that point — i.e. at the speculated instruction's original program
+// position, never on a misspeculated path.
+type Core struct {
+	Cfg   Config
+	MCB   MCB
+	Stats Stats
+
+	// Instret counts guest instructions retired by translated code.
+	Instret uint64
+}
+
+// NewCore builds a core; it panics on an invalid configuration
+// (construction-time programming error).
+func NewCore(cfg Config) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{Cfg: cfg}
+}
+
+type pendingWrite struct {
+	reg    uint8
+	val    uint64
+	poison bool
+}
+
+func errPoisonUse(sy *Syllable) error {
+	return fmt.Errorf("vliw: architectural use of poisoned (squashed speculative) value by %s at guest pc %#x", sy, sy.GuestPC)
+}
+
+// Exec runs one translated block. regs is the persistent physical
+// register file (0..31 architectural, 32..63 hidden); b is the shared
+// memory system; cycles is the machine cycle counter, advanced in place
+// so rdcycle inside the block observes real time.
+func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint64) ExitInfo {
+	hitLat := b.DC.Config().HitLatency
+	var poisoned [NumRegs]bool
+
+	fault := func(err error, pc uint64) ExitInfo {
+		c.MCB.Reset()
+		return ExitInfo{Fault: err, FaultPC: pc}
+	}
+
+	// Dispatching any block costs at least one cycle (the chain jump),
+	// so zero-bundle blocks (pure jumps) cannot loop for free.
+	if len(blk.Bundles) == 0 {
+		*cycles++
+	}
+
+	for _, bundle := range blk.Bundles {
+		*cycles++
+		c.Stats.Bundles++
+
+		var writes []pendingWrite
+		var written [NumRegs]bool
+		exitTaken := false
+		var exitTo uint64
+		var nextPC uint64
+		haveNext := false
+		var recoveries []int16
+
+		read := func(r uint8) uint64 {
+			if r == 0 {
+				return 0
+			}
+			return regs[r]
+		}
+		poisonIn := func(r uint8) bool { return r != 0 && poisoned[r] }
+		write := func(sy *Syllable, v uint64, p bool) *ExitInfo {
+			if sy.Dst == 0 {
+				return nil
+			}
+			if written[sy.Dst] {
+				ei := fault(fmt.Errorf("vliw: double write of r%d in one bundle", sy.Dst), sy.GuestPC)
+				return &ei
+			}
+			written[sy.Dst] = true
+			writes = append(writes, pendingWrite{sy.Dst, v, p})
+			return nil
+		}
+
+		for i := range bundle {
+			sy := &bundle[i]
+			switch sy.Kind {
+			case KNop:
+
+			case KAluRR:
+				p := poisonIn(sy.Ra) || poisonIn(sy.Rb)
+				if ei := write(sy, riscv.EvalALU(sy.Op, read(sy.Ra), read(sy.Rb)), p); ei != nil {
+					return *ei
+				}
+			case KAluRI:
+				if ei := write(sy, riscv.EvalALUImm(sy.Op, read(sy.Ra), sy.Imm), poisonIn(sy.Ra)); ei != nil {
+					return *ei
+				}
+			case KMovI:
+				if ei := write(sy, uint64(sy.Imm), false); ei != nil {
+					return *ei
+				}
+
+			case KLoad:
+				if poisonIn(sy.Ra) {
+					return fault(errPoisonUse(sy), sy.GuestPC)
+				}
+				addr := read(sy.Ra) + uint64(sy.Imm)
+				v, lat, err := b.Load(addr, sy.Op.MemSize())
+				if err != nil {
+					return fault(err, sy.GuestPC)
+				}
+				if lat > hitLat {
+					*cycles += lat - hitLat // stall-on-miss
+				}
+				if ei := write(sy, riscv.ExtendLoad(sy.Op, v), false); ei != nil {
+					return *ei
+				}
+
+			case KLoadD, KLoadS:
+				c.Stats.SpecLoads++
+				squashed := poisonIn(sy.Ra)
+				var val uint64
+				var addr uint64
+				if !squashed {
+					addr = read(sy.Ra) + uint64(sy.Imm)
+					v, lat, ok := b.LoadSpeculative(addr, sy.Op.MemSize())
+					if ok {
+						if lat > hitLat {
+							*cycles += lat - hitLat
+						}
+						val = riscv.ExtendLoad(sy.Op, v)
+					} else {
+						squashed = true
+					}
+				}
+				if squashed {
+					c.Stats.SpecSquash++
+				}
+				if sy.Kind == KLoadS {
+					if err := c.MCB.Insert(sy.Tag, addr, sy.Op.MemSize(), squashed); err != nil {
+						return fault(err, sy.GuestPC)
+					}
+				}
+				if ei := write(sy, val, squashed); ei != nil {
+					return *ei
+				}
+
+			case KStore:
+				if poisonIn(sy.Ra) || poisonIn(sy.Rb) {
+					return fault(errPoisonUse(sy), sy.GuestPC)
+				}
+				addr := read(sy.Ra) + uint64(sy.Imm)
+				lat, err := b.Store(addr, sy.Op.MemSize(), read(sy.Rb))
+				if err != nil {
+					return fault(err, sy.GuestPC)
+				}
+				if lat > hitLat {
+					*cycles += lat - hitLat
+				}
+				c.MCB.StoreCheck(addr, sy.Op.MemSize())
+
+			case KChk:
+				conflict, faulted, err := c.MCB.Consume(sy.Tag)
+				if err != nil {
+					return fault(err, sy.GuestPC)
+				}
+				if faulted {
+					// The speculative load faults at its original
+					// program position (exception no longer deferred).
+					return fault(fmt.Errorf("vliw: speculative load fault at chk, guest pc %#x", sy.GuestPC), sy.GuestPC)
+				}
+				if conflict {
+					recoveries = append(recoveries, sy.Rec)
+				}
+
+			case KBrExit:
+				if poisonIn(sy.Ra) || poisonIn(sy.Rb) {
+					return fault(errPoisonUse(sy), sy.GuestPC)
+				}
+				if riscv.EvalBranch(sy.Op, read(sy.Ra), read(sy.Rb)) {
+					exitTaken = true
+					exitTo = uint64(sy.Imm)
+				}
+
+			case KJump:
+				nextPC, haveNext = uint64(sy.Imm), true
+			case KJumpR:
+				if poisonIn(sy.Ra) {
+					return fault(errPoisonUse(sy), sy.GuestPC)
+				}
+				nextPC, haveNext = read(sy.Ra)+uint64(sy.Imm), true
+
+			case KCsr:
+				var v uint64
+				switch sy.Imm {
+				case riscv.CSRCycle, riscv.CSRTime:
+					v = *cycles
+				case riscv.CSRInstret:
+					v = c.Instret
+				}
+				if ei := write(sy, v, false); ei != nil {
+					return *ei
+				}
+
+			case KFlush:
+				if sy.Op == riscv.CFLUSHALL {
+					b.FlushAll()
+				} else {
+					if poisonIn(sy.Ra) {
+						return fault(errPoisonUse(sy), sy.GuestPC)
+					}
+					b.FlushLine(read(sy.Ra))
+				}
+
+			case KCommit:
+				if poisonIn(sy.Ra) {
+					return fault(errPoisonUse(sy), sy.GuestPC)
+				}
+				if ei := write(sy, read(sy.Ra), false); ei != nil {
+					return *ei
+				}
+
+			default:
+				return fault(fmt.Errorf("vliw: unknown syllable kind %d", sy.Kind), sy.GuestPC)
+			}
+		}
+
+		// Write phase: all bundle results commit together.
+		for _, w := range writes {
+			regs[w.reg] = w.val
+			poisoned[w.reg] = w.poison
+		}
+
+		// MCB recoveries detected in this bundle, in check order.
+		for _, rec := range recoveries {
+			if int(rec) < 0 || int(rec) >= len(blk.Recoveries) {
+				return fault(fmt.Errorf("vliw: recovery %d out of range", rec), 0)
+			}
+			c.Stats.Recoveries++
+			*cycles += c.Cfg.RecoveryPenalty
+			if ei := c.execRecovery(blk.Recoveries[rec], regs, &poisoned, b, cycles); ei != nil {
+				return *ei
+			}
+		}
+
+		if exitTaken {
+			*cycles += c.Cfg.ExitPenalty
+			c.Stats.SideExits++
+			c.MCB.Reset()
+			c.Instret += uint64(blk.GuestInsts) // approximate retirement
+			return ExitInfo{NextPC: exitTo, SideExit: true}
+		}
+		if haveNext {
+			if n := c.MCB.Outstanding(); n != 0 {
+				return fault(fmt.Errorf("vliw: %d MCB entries outstanding at block exit", n), 0)
+			}
+			c.Instret += uint64(blk.GuestInsts)
+			return ExitInfo{NextPC: nextPC}
+		}
+	}
+
+	if n := c.MCB.Outstanding(); n != 0 {
+		return fault(fmt.Errorf("vliw: %d MCB entries outstanding at block fallthrough", n), 0)
+	}
+	c.Instret += uint64(blk.GuestInsts)
+	return ExitInfo{NextPC: blk.FallPC}
+}
+
+// execRecovery re-executes a speculative load and its forward slice
+// sequentially (one syllable per cycle) with architectural semantics —
+// the hardware "rolls back and re-executes the instruction correctly"
+// (paper, Section III-B). Dependent speculative loads refresh their MCB
+// entries with the corrected address so their own chk still validates.
+func (c *Core) execRecovery(seq []Syllable, regs *[NumRegs]uint64, poisoned *[NumRegs]bool, b *bus.Bus, cycles *uint64) *ExitInfo {
+	hitLat := b.DC.Config().HitLatency
+	read := func(r uint8) uint64 {
+		if r == 0 {
+			return 0
+		}
+		return regs[r]
+	}
+	write := func(r uint8, v uint64, p bool) {
+		if r != 0 {
+			regs[r] = v
+			poisoned[r] = p
+		}
+	}
+	failf := func(sy *Syllable, err error) *ExitInfo {
+		c.MCB.Reset()
+		return &ExitInfo{Fault: err, FaultPC: sy.GuestPC}
+	}
+	for i := range seq {
+		sy := &seq[i]
+		*cycles++
+		switch sy.Kind {
+		case KAluRR:
+			p := (sy.Ra != 0 && poisoned[sy.Ra]) || (sy.Rb != 0 && poisoned[sy.Rb])
+			write(sy.Dst, riscv.EvalALU(sy.Op, read(sy.Ra), read(sy.Rb)), p)
+		case KAluRI:
+			write(sy.Dst, riscv.EvalALUImm(sy.Op, read(sy.Ra), sy.Imm), sy.Ra != 0 && poisoned[sy.Ra])
+		case KMovI:
+			write(sy.Dst, uint64(sy.Imm), false)
+		case KCommit:
+			if sy.Ra != 0 && poisoned[sy.Ra] {
+				return failf(sy, errPoisonUse(sy))
+			}
+			write(sy.Dst, read(sy.Ra), false)
+		case KLoad:
+			if sy.Ra != 0 && poisoned[sy.Ra] {
+				return failf(sy, errPoisonUse(sy))
+			}
+			addr := read(sy.Ra) + uint64(sy.Imm)
+			v, lat, err := b.Load(addr, sy.Op.MemSize())
+			if err != nil {
+				return failf(sy, err)
+			}
+			if lat > hitLat {
+				*cycles += lat - hitLat
+			}
+			write(sy.Dst, riscv.ExtendLoad(sy.Op, v), false)
+		case KLoadD, KLoadS:
+			// Still ahead of its own chk: keep dismissable semantics and
+			// refresh the MCB entry with the corrected address.
+			squashed := sy.Ra != 0 && poisoned[sy.Ra]
+			var val, addr uint64
+			if !squashed {
+				addr = read(sy.Ra) + uint64(sy.Imm)
+				v, lat, ok := b.LoadSpeculative(addr, sy.Op.MemSize())
+				if ok {
+					if lat > hitLat {
+						*cycles += lat - hitLat
+					}
+					val = riscv.ExtendLoad(sy.Op, v)
+				} else {
+					squashed = true
+				}
+			}
+			if sy.Kind == KLoadS {
+				if _, _, err := c.MCB.Consume(sy.Tag); err != nil {
+					return failf(sy, err)
+				}
+				if err := c.MCB.Insert(sy.Tag, addr, sy.Op.MemSize(), squashed); err != nil {
+					return failf(sy, err)
+				}
+			}
+			write(sy.Dst, val, squashed)
+		default:
+			return failf(sy, fmt.Errorf("vliw: kind %s not allowed in recovery code", sy.Kind))
+		}
+	}
+	return nil
+}

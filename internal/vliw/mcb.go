@@ -1,0 +1,88 @@
+package vliw
+
+import "fmt"
+
+// MCBEntries is the number of in-flight speculative loads the Memory
+// Conflict Buffer tracks. The DBT engine never schedules more
+// outstanding KLoadS operations than this.
+const MCBEntries = 8
+
+type mcbEntry struct {
+	valid    bool
+	addr     uint64
+	size     uint8
+	conflict bool // a later-executed store overlapped this load
+	faulted  bool // the speculative load faulted (raise at the chk point)
+}
+
+// MCB is the Memory Conflict Buffer: the dedicated hardware that "stores
+// and compares the addresses of speculative memory operations" (paper,
+// Section II-B / III-B). A KLoadS inserts its address under a tag; every
+// store compares its address against all valid entries and flags
+// overlaps; the KChk at the load's original program position consumes
+// the entry and triggers recovery on conflict.
+type MCB struct {
+	e [MCBEntries]mcbEntry
+}
+
+// Insert records a speculative load. Inserting over a still-valid tag is
+// a code-generation bug and is reported as an error.
+func (m *MCB) Insert(tag uint8, addr uint64, size int, faulted bool) error {
+	if int(tag) >= MCBEntries {
+		return fmt.Errorf("vliw: MCB tag %d out of range", tag)
+	}
+	if m.e[tag].valid {
+		return fmt.Errorf("vliw: MCB tag %d inserted while still valid", tag)
+	}
+	m.e[tag] = mcbEntry{valid: true, addr: addr, size: uint8(size), faulted: faulted}
+	return nil
+}
+
+// StoreCheck compares a store against all valid entries, flagging
+// conflicts on overlap.
+func (m *MCB) StoreCheck(addr uint64, size int) {
+	lo, hi := addr, addr+uint64(size)
+	for i := range m.e {
+		e := &m.e[i]
+		if !e.valid || e.faulted {
+			continue
+		}
+		elo, ehi := e.addr, e.addr+uint64(e.size)
+		if lo < ehi && elo < hi {
+			e.conflict = true
+		}
+	}
+}
+
+// Consume validates and clears a tag, reporting whether recovery is
+// needed and whether the original load faulted (architectural fault to
+// raise now, at the load's original position).
+func (m *MCB) Consume(tag uint8) (conflict, faulted bool, err error) {
+	if int(tag) >= MCBEntries {
+		return false, false, fmt.Errorf("vliw: MCB tag %d out of range", tag)
+	}
+	e := &m.e[tag]
+	if !e.valid {
+		return false, false, fmt.Errorf("vliw: MCB tag %d consumed while invalid", tag)
+	}
+	conflict, faulted = e.conflict, e.faulted
+	*e = mcbEntry{}
+	return conflict, faulted, nil
+}
+
+// Outstanding reports how many entries are still valid (must be zero at
+// block completion).
+func (m *MCB) Outstanding() int {
+	n := 0
+	for i := range m.e {
+		if m.e[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates every entry (block exit).
+func (m *MCB) Reset() {
+	*m = MCB{}
+}

@@ -1,0 +1,30 @@
+# Development gate for the GhostBusters reproduction.
+#
+#   make check   vet + race-enabled tests (what CI runs)
+#   make test    fast test pass
+#   make bench   regenerate the paper's tables' benchmarks
+#   make fig4    print the Figure 4 table (parallel harness)
+
+GO ?= go
+
+.PHONY: build test vet race check bench fig4
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+fig4:
+	$(GO) run ./cmd/gbbench -exp fig4

@@ -16,6 +16,7 @@ package ghostbusters_test
 // suite doubles as an end-to-end test.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -77,30 +78,54 @@ func BenchmarkE1_SpectreV4(b *testing.B) {
 
 // --- Figure 4 (and E3, the fence variant) -------------------------------
 
+// benchArts memoizes generated and assembled kernels across the whole
+// benchmark suite, so iterations measure the simulator rather than the
+// assembler (the artifact cache the parallel Runner shares between jobs).
+var benchArts = harness.NewArtifacts()
+
 func benchKernel(b *testing.B, name string, n int, mode core.Mode) {
 	b.Helper()
 	k, err := polybench.ByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if n == 0 {
-		n = k.DefaultN
-	}
 	cfg := dbt.DefaultConfig()
 	cfg.Mitigation = mode
+	bench := harness.KernelBench(k, n)
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
-		spec, err := k.Make(n)
-		if err != nil {
-			b.Fatal(err)
-		}
-		run, err := harness.RunSpec(spec, cfg) // validates against the Go reference
+		// Validates against the Go reference on every run.
+		run, err := bench.Run(context.Background(), cfg, benchArts)
 		if err != nil {
 			b.Fatal(err)
 		}
 		cycles = run.Cycles
 	}
 	b.ReportMetric(float64(cycles), "guest-cycles/op")
+}
+
+// The whole Figure 4 matrix through the parallel Runner at a reduced
+// size: the wall clock of the experiment harness itself, per worker
+// count (compare -j 1 vs GOMAXPROCS).
+func BenchmarkFig4Matrix(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("j%d", workers)
+		if workers == 0 {
+			name = "jMax"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := &harness.Runner{Workers: workers, Artifacts: harness.NewArtifacts()}
+				rows, err := r.Fig4(context.Background(), dbt.DefaultConfig(), benchModes, 8)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != len(polybench.All())+2 {
+					b.Fatalf("matrix returned %d rows", len(rows))
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFig4(b *testing.B) {

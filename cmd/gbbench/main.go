@@ -7,12 +7,20 @@
 //	gbbench -exp ptrmm   the pointer-layout matmul experiment
 //	                     (Section V-B, last paragraph)
 //	gbbench -exp kernel -kernel gemm -n 24   a single kernel
+//
+// Matrix experiments (fig4/ptrmm/kernel) fan out over a worker pool:
+// -j bounds the pool (default GOMAXPROCS) and -timeout puts a
+// wall-clock guard on every individual run. Results are deterministic —
+// -j 8 produces byte-identical tables to -j 1, just faster.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
@@ -27,7 +35,19 @@ func main() {
 	n := flag.Int("n", 0, "problem size override (0 = default)")
 	width := flag.Int("width", 4, "VLIW issue width: 2, 4 or 8")
 	csv := flag.Bool("csv", false, "machine-readable CSV output (fig4/ptrmm/kernel)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel benchmark jobs (>= 1)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit per benchmark run (0 = none)")
 	flag.Parse()
+
+	if *n < 0 {
+		usageError("gbbench: -n must be >= 0, got %d", *n)
+	}
+	if *jobs < 1 {
+		usageError("gbbench: -j must be >= 1, got %d", *jobs)
+	}
+	if *timeout < 0 {
+		usageError("gbbench: -timeout must be >= 0, got %v", *timeout)
+	}
 
 	base := dbt.DefaultConfig()
 	switch *width {
@@ -38,14 +58,24 @@ func main() {
 	case 8:
 		base.Core = vliw.WideConfig()
 	default:
-		fmt.Fprintf(os.Stderr, "gbbench: unsupported width %d\n", *width)
-		os.Exit(2)
+		usageError("gbbench: unsupported width %d", *width)
 	}
+
+	runner := &harness.Runner{
+		Workers:   *jobs,
+		Timeout:   *timeout,
+		Artifacts: harness.NewArtifacts(),
+	}
+	ctx := context.Background()
 
 	switch *exp {
 	case "fig4":
-		rows, err := harness.Fig4(base, harness.Fig4Modes, *n)
+		start := time.Now()
+		rows, err := runner.Fig4(ctx, base, harness.Fig4Modes, *n)
 		fail(err)
+		// Timing goes to stderr so stdout stays byte-identical at any -j.
+		fmt.Fprintf(os.Stderr, "gbbench: %d benchmarks x %d modes on %d workers in %v\n",
+			len(rows), len(harness.Fig4Modes), *jobs, time.Since(start).Round(time.Millisecond))
 		if *csv {
 			fmt.Print(harness.CSV(rows, harness.Fig4Modes))
 			return
@@ -65,7 +95,7 @@ func main() {
 	case "ptrmm":
 		k, err := polybench.ByName("matmul-ptr")
 		fail(err)
-		row, err := harness.RunKernel(k, *n, base, harness.Fig4Modes)
+		row, err := runner.RunKernel(ctx, k, *n, base, harness.Fig4Modes)
 		fail(err)
 		if *csv {
 			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
@@ -83,7 +113,7 @@ func main() {
 	case "kernel":
 		k, err := polybench.ByName(*kernel)
 		fail(err)
-		row, err := harness.RunKernel(k, *n, base, harness.Fig4Modes)
+		row, err := runner.RunKernel(ctx, k, *n, base, harness.Fig4Modes)
 		fail(err)
 		if *csv {
 			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
@@ -92,9 +122,14 @@ func main() {
 		fmt.Print(harness.FormatRows([]*harness.Row{row}, harness.Fig4Modes))
 
 	default:
-		fmt.Fprintf(os.Stderr, "gbbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		usageError("gbbench: unknown experiment %q", *exp)
 	}
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(err error) {

@@ -141,10 +141,35 @@ func Kernels() []Kernel { return polybench.All() }
 func KernelByName(name string) (Kernel, error) { return polybench.ByName(name) }
 
 // Row is one benchmark's cycles and slowdowns across mitigation modes.
+// Slowdowns require ModeUnsafe among the measured modes; without the
+// baseline the Slowdown map stays empty and tables render "n/a".
 type Row = harness.Row
 
 // Fig4Modes are the modes the evaluation compares.
 var Fig4Modes = harness.Fig4Modes
+
+// Runner is the parallel experiment engine: it fans a (benchmark x
+// mode) matrix out over a bounded worker pool, one fresh machine per
+// job, with context cancellation, per-run wall-clock timeouts and
+// deterministic result ordering. The zero value uses GOMAXPROCS
+// workers; set Artifacts to share assembled programs across jobs.
+type Runner = harness.Runner
+
+// Bench is one benchmark of a Runner matrix.
+type Bench = harness.Bench
+
+// Artifacts is the shared read-mostly cache of generated and assembled
+// benchmark programs, deduplicating concurrent builds singleflight-style.
+type Artifacts = harness.Artifacts
+
+// NewArtifacts returns an empty artifact cache for use with Runner.
+func NewArtifacts() *Artifacts { return harness.NewArtifacts() }
+
+// KernelBench wraps a benchmark kernel for use in a Runner matrix.
+func KernelBench(k Kernel, n int) Bench { return harness.KernelBench(k, n) }
+
+// Fig4Benches builds the full Figure 4 benchmark list.
+func Fig4Benches(sizeOverride int) []Bench { return harness.Fig4Benches(sizeOverride) }
 
 // RunKernel measures one kernel under the given modes, validating guest
 // results against the native reference.

@@ -38,7 +38,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats accumulates access counts.
+// Stats accumulates access counts. Flushes counts invalidated lines:
+// FlushLine contributes one per line it actually invalidates, FlushAll
+// one per line that was valid when it ran.
 type Stats struct {
 	Hits    uint64
 	Misses  uint64
@@ -135,14 +137,18 @@ func (c *Cache) FlushLine(addr uint64) {
 	}
 }
 
-// FlushAll invalidates every line (the cflushall instruction).
+// FlushAll invalidates every line (the cflushall instruction). Like
+// FlushLine, Stats.Flushes counts each line actually invalidated — not
+// one per instruction — so the two flush strategies are comparable.
 func (c *Cache) FlushAll() {
 	for _, ways := range c.sets {
 		for i := range ways {
+			if ways[i].valid {
+				c.stats.Flushes++
+			}
 			ways[i] = line{}
 		}
 	}
-	c.stats.Flushes++
 }
 
 // LineSize returns the line size in bytes.

@@ -54,6 +54,39 @@ func TestFlushAll(t *testing.T) {
 	}
 }
 
+// Flushes counts invalidated lines under both flush strategies: N valid
+// lines cost N flush counts whether removed one by one or all at once.
+func TestFlushCountsInvalidatedLines(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := uint64(0); i < 5; i++ {
+		c.Access(i * 64)
+	}
+	c.FlushAll()
+	if f := c.Stats().Flushes; f != 5 {
+		t.Fatalf("FlushAll over 5 valid lines counted %d flushes, want 5", f)
+	}
+	// An empty cache has nothing to invalidate.
+	c.FlushAll()
+	if f := c.Stats().Flushes; f != 5 {
+		t.Fatalf("FlushAll on empty cache changed the count to %d", f)
+	}
+	// FlushLine on an absent line likewise counts nothing.
+	c.FlushLine(0)
+	if f := c.Stats().Flushes; f != 5 {
+		t.Fatalf("FlushLine on absent line changed the count to %d", f)
+	}
+	// Line-by-line over the same working set matches FlushAll's count.
+	for i := uint64(0); i < 5; i++ {
+		c.Access(i * 64)
+	}
+	for i := uint64(0); i < 5; i++ {
+		c.FlushLine(i * 64)
+	}
+	if f := c.Stats().Flushes; f != 10 {
+		t.Fatalf("line-by-line flush counted %d total, want 10", f)
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	cfg := Config{Sets: 1, Ways: 2, LineSize: 64, HitLatency: 1, MissPenalty: 10}
 	c := New(cfg)

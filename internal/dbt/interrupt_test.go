@@ -1,0 +1,58 @@
+package dbt
+
+import (
+	"errors"
+	"testing"
+
+	"ghostbusters/internal/riscv"
+)
+
+// A closed Interrupt channel aborts the run with ErrInterrupted once the
+// dispatch loop polls it — the hook the harness uses for wall-clock
+// timeouts and cancellation.
+func TestRunInterrupt(t *testing.T) {
+	src := `
+main:
+	li s1, 0
+	li s2, 0
+loop:
+	add s2, s2, s1
+	addi s1, s1, 1
+	li t0, 1000000
+	blt s1, t0, loop
+	andi a0, s2, 0xff
+	ecall
+`
+	prog, err := riscv.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	close(stop)
+	cfg := DefaultConfig()
+	cfg.Interrupt = stop
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Run with closed Interrupt returned %v, want ErrInterrupted", err)
+	}
+
+	// Without the interrupt the same guest finishes normally.
+	cfg.Interrupt = nil
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(); err != nil {
+		t.Fatalf("uninterrupted run failed: %v", err)
+	}
+}

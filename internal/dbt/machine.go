@@ -1,6 +1,7 @@
 package dbt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -57,6 +58,13 @@ type Config struct {
 
 	// MaxCycles aborts runaway guests. 0 means no limit.
 	MaxCycles uint64
+
+	// Interrupt, when non-nil, is polled by the dispatch loop; once the
+	// channel is closed (or receives), Run aborts with ErrInterrupted.
+	// The experiment harness wires a context.Context's Done channel here
+	// to give every run a wall-clock guard on top of the MaxCycles guest
+	// cycle budget.
+	Interrupt <-chan struct{}
 
 	// Trace, when non-nil, receives one line per translated-block
 	// dispatch and per interpreted control transfer (debugging aid used
@@ -305,13 +313,34 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 	m.cycles += m.cfg.TranslateCost * uint64(guestInsts)
 }
 
+// ErrInterrupted is returned (wrapped) by Run when the configured
+// Interrupt channel fires before the guest exits.
+var ErrInterrupted = errors.New("run interrupted")
+
+// interruptPollEvery is how many dispatch-loop iterations pass between
+// Interrupt channel polls: frequent enough that a cancelled run stops
+// within microseconds, rare enough that the interpreter hot loop does
+// not pay a per-instruction channel operation.
+const interruptPollEvery = 256
+
 // Run executes the loaded guest until it exits (ecall/ebreak), faults,
-// or exceeds the cycle budget.
+// exceeds the cycle budget, or is interrupted.
 func (m *Machine) Run() (*Result, error) {
 	m.onEnter(m.state.PC)
+	poll := 0
 	for {
 		if m.cfg.MaxCycles != 0 && m.cycles > m.cfg.MaxCycles {
 			return nil, fmt.Errorf("dbt: cycle budget exceeded (%d)", m.cfg.MaxCycles)
+		}
+		if m.cfg.Interrupt != nil {
+			if poll++; poll >= interruptPollEvery {
+				poll = 0
+				select {
+				case <-m.cfg.Interrupt:
+					return nil, fmt.Errorf("dbt: %w at cycle %d", ErrInterrupted, m.cycles)
+				default:
+				}
+			}
 		}
 		pc := m.state.PC
 		if e := m.trans[pc]; e != nil {

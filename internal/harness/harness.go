@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -18,7 +19,6 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/kbuild"
 	"ghostbusters/internal/polybench"
-	"ghostbusters/internal/riscv"
 )
 
 // KernelRun is one kernel execution under one configuration.
@@ -33,19 +33,27 @@ type KernelRun struct {
 // output array against the reference. A mismatch is an error: the
 // benchmark harness doubles as an end-to-end correctness check.
 func RunSpec(spec *polybench.Spec, cfg dbt.Config) (*KernelRun, error) {
-	prog, err := riscv.Assemble(spec.Source)
+	art, err := BuildArtifact(spec)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s: assemble: %w", spec.Name, err)
+		return nil, err
 	}
+	return runArtifact(art, cfg)
+}
+
+// runArtifact executes a prepared artifact on a fresh machine. The
+// artifact is read-only, so many runArtifact calls may share it
+// concurrently.
+func runArtifact(art *Artifact, cfg dbt.Config) (*KernelRun, error) {
+	spec := art.Spec
 	m, err := dbt.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	if err := m.Load(prog); err != nil {
+	if err := m.Load(art.Prog); err != nil {
 		return nil, err
 	}
-	for _, a := range spec.Arrays {
-		if err := kbuild.InitArray(m.Mem(), prog, a, spec.Inputs[a.Name]); err != nil {
+	for i, a := range spec.Arrays {
+		if err := art.place[i].Init(m.Mem(), spec.Inputs[a.Name]); err != nil {
 			return nil, fmt.Errorf("harness: %s: init %s: %w", spec.Name, a.Name, err)
 		}
 	}
@@ -60,8 +68,7 @@ func RunSpec(spec *polybench.Spec, cfg dbt.Config) (*KernelRun, error) {
 		return nil, fmt.Errorf("harness: %s: %d DBT compile errors", spec.Name, res.Stats.CompileErrs)
 	}
 	for _, out := range spec.Outputs {
-		arr := findArray(spec, out)
-		got, err := kbuild.ReadArray(m.Mem(), prog, arr)
+		got, err := art.placeFor(out).Read(m.Mem())
 		if err != nil {
 			return nil, err
 		}
@@ -76,6 +83,19 @@ func RunSpec(spec *polybench.Spec, cfg dbt.Config) (*KernelRun, error) {
 	return &KernelRun{Name: spec.Name, Mode: cfg.Mitigation, Cycles: res.Cycles, Stats: res.Stats}, nil
 }
 
+// validateSpec checks the spec's internal consistency up front — most
+// importantly that every named output is actually declared in Arrays, so
+// a typo surfaces as a descriptive error instead of a nil dereference
+// mid-run.
+func validateSpec(spec *polybench.Spec) error {
+	for _, out := range spec.Outputs {
+		if findArray(spec, out) == nil {
+			return fmt.Errorf("harness: %s: output %q is not declared in Arrays", spec.Name, out)
+		}
+	}
+	return nil
+}
+
 func findArray(spec *polybench.Spec, name string) *kbuild.Array {
 	for _, a := range spec.Arrays {
 		if a.Name == name {
@@ -86,96 +106,65 @@ func findArray(spec *polybench.Spec, name string) *kbuild.Array {
 }
 
 // Row is one benchmark's cycles and slowdowns across modes.
+//
+// Slowdowns are relative to the ModeUnsafe baseline; when the measured
+// mode list does not include ModeUnsafe there is nothing to normalise
+// against, the Slowdown map stays empty, and the renderers print "n/a"
+// instead of a misleading 0.0%.
 type Row struct {
 	Name     string
 	Cycles   map[core.Mode]uint64
-	Slowdown map[core.Mode]float64 // relative to ModeUnsafe
+	Slowdown map[core.Mode]float64 // relative to ModeUnsafe; empty without the baseline
 	Stats    map[core.Mode]dbt.Stats
+}
+
+func newRow(name string) *Row {
+	return &Row{
+		Name:     name,
+		Cycles:   map[core.Mode]uint64{},
+		Slowdown: map[core.Mode]float64{},
+		Stats:    map[core.Mode]dbt.Stats{},
+	}
+}
+
+// normalize computes slowdowns relative to the ModeUnsafe baseline. It
+// is a no-op when the baseline was not measured.
+func (r *Row) normalize() {
+	if unsafe, ok := r.Cycles[core.ModeUnsafe]; ok && unsafe > 0 {
+		for mode, c := range r.Cycles {
+			r.Slowdown[mode] = float64(c) / float64(unsafe)
+		}
+	}
 }
 
 // Fig4Modes are the modes the paper's Figure 4 compares (plus the fence
 // variant from the text's third experiment).
 var Fig4Modes = []core.Mode{core.ModeUnsafe, core.ModeGhostBusters, core.ModeFence, core.ModeNoSpeculation}
 
-// RunKernel measures one kernel under the given modes.
+// RunKernel measures one kernel under the given modes. The modes fan
+// out over the default worker pool, sharing one assembled artifact.
 func RunKernel(k polybench.Kernel, n int, base dbt.Config, modes []core.Mode) (*Row, error) {
-	if n == 0 {
-		n = k.DefaultN
-	}
-	row := &Row{
-		Name:     k.Name,
-		Cycles:   map[core.Mode]uint64{},
-		Slowdown: map[core.Mode]float64{},
-		Stats:    map[core.Mode]dbt.Stats{},
-	}
-	for _, mode := range modes {
-		spec, err := k.Make(n)
-		if err != nil {
-			return nil, err
-		}
-		cfg := base
-		cfg.Mitigation = mode
-		run, err := RunSpec(spec, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row.Cycles[mode] = run.Cycles
-		row.Stats[mode] = run.Stats
-	}
-	if unsafe, ok := row.Cycles[core.ModeUnsafe]; ok && unsafe > 0 {
-		for mode, c := range row.Cycles {
-			row.Slowdown[mode] = float64(c) / float64(unsafe)
-		}
-	}
-	return row, nil
+	r := &Runner{Artifacts: NewArtifacts()}
+	return r.RunKernel(context.Background(), k, n, base, modes)
 }
 
 // RunSpectreApp measures a Spectre PoC application as a benchmark (the
 // paper's Figure 4 includes "Spectre v1" and "Spectre v4" applications).
 func RunSpectreApp(v attack.Variant, base dbt.Config, modes []core.Mode) (*Row, error) {
-	row := &Row{
-		Name:     v.String(),
-		Cycles:   map[core.Mode]uint64{},
-		Slowdown: map[core.Mode]float64{},
-		Stats:    map[core.Mode]dbt.Stats{},
+	rows, err := (&Runner{}).RunMatrix(context.Background(), base, []Bench{SpectreBench(v)}, modes)
+	if err != nil {
+		return nil, err
 	}
-	for _, mode := range modes {
-		cfg := base
-		cfg.Mitigation = mode
-		res, err := attack.Run(v, cfg, attack.Params{Secret: []byte{0x5A, 0xC3}})
-		if err != nil {
-			return nil, err
-		}
-		row.Cycles[mode] = res.Cycles
-		row.Stats[mode] = res.Stats
-	}
-	if unsafe := row.Cycles[core.ModeUnsafe]; unsafe > 0 {
-		for mode, c := range row.Cycles {
-			row.Slowdown[mode] = float64(c) / float64(unsafe)
-		}
-	}
-	return row, nil
+	return rows[0], nil
 }
 
 // Fig4 runs the whole Figure 4 experiment: every Polybench kernel plus
-// the two Spectre applications, under the requested modes.
+// the two Spectre applications, under the requested modes. The matrix
+// fans out over a default-sized worker pool; use a Runner directly to
+// control parallelism, timeouts and error policy.
 func Fig4(base dbt.Config, modes []core.Mode, sizeOverride int) ([]*Row, error) {
-	var rows []*Row
-	for _, k := range polybench.All() {
-		row, err := RunKernel(k, sizeOverride, base, modes)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	for _, v := range []attack.Variant{attack.V1, attack.V4} {
-		row, err := RunSpectreApp(v, base, modes)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	r := &Runner{Artifacts: NewArtifacts()}
+	return r.Fig4(context.Background(), base, modes, sizeOverride)
 }
 
 // GeoMean returns the geometric-mean slowdown for a mode over rows.
@@ -195,7 +184,9 @@ func GeoMean(rows []*Row, mode core.Mode) float64 {
 }
 
 // FormatRows renders the slowdown table the way Figure 4 reports it
-// (percent of unsafe execution time; lower is better).
+// (percent of unsafe execution time; lower is better). Slowdowns require
+// the ModeUnsafe baseline among the measured modes; without it the
+// percentage cells read "n/a".
 func FormatRows(rows []*Row, modes []core.Mode) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-12s", "benchmark")
@@ -210,7 +201,11 @@ func FormatRows(rows []*Row, modes []core.Mode) string {
 				fmt.Fprintf(&sb, " %11d cy", r.Cycles[m])
 				continue
 			}
-			fmt.Fprintf(&sb, " %13.1f%%", 100*r.Slowdown[m])
+			if s, ok := r.Slowdown[m]; ok {
+				fmt.Fprintf(&sb, " %13.1f%%", 100*s)
+			} else {
+				fmt.Fprintf(&sb, " %14s", "n/a")
+			}
 		}
 		sb.WriteString("\n")
 	}
@@ -220,7 +215,11 @@ func FormatRows(rows []*Row, modes []core.Mode) string {
 			fmt.Fprintf(&sb, " %14s", "(baseline)")
 			continue
 		}
-		fmt.Fprintf(&sb, " %13.1f%%", 100*GeoMean(rows, m))
+		if g := GeoMean(rows, m); g > 0 {
+			fmt.Fprintf(&sb, " %13.1f%%", 100*g)
+		} else {
+			fmt.Fprintf(&sb, " %14s", "n/a")
+		}
 	}
 	sb.WriteString("\n")
 	return sb.String()
@@ -255,15 +254,21 @@ func SortRows(rows []*Row) {
 }
 
 // CSV renders rows machine-readably (one line per benchmark/mode pair):
-// benchmark,mode,cycles,slowdown,spec_loads,recoveries,patterns.
+// benchmark,mode,cycles,slowdown,spec_loads,recoveries,patterns. The
+// slowdown column requires the ModeUnsafe baseline among the measured
+// modes and renders "n/a" without it.
 func CSV(rows []*Row, modes []core.Mode) string {
 	var sb strings.Builder
 	sb.WriteString("benchmark,mode,cycles,slowdown,spec_loads,recoveries,patterns_found,risky_loads\n")
 	for _, r := range rows {
 		for _, m := range modes {
 			st := r.Stats[m]
-			fmt.Fprintf(&sb, "%s,%s,%d,%.4f,%d,%d,%d,%d\n",
-				r.Name, m, r.Cycles[m], r.Slowdown[m],
+			slow := "n/a"
+			if s, ok := r.Slowdown[m]; ok {
+				slow = fmt.Sprintf("%.4f", s)
+			}
+			fmt.Fprintf(&sb, "%s,%s,%d,%s,%d,%d,%d,%d\n",
+				r.Name, m, r.Cycles[m], slow,
 				st.SpecLoads, st.Recoveries, st.PatternsFound, st.RiskyLoads)
 		}
 	}

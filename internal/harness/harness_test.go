@@ -24,6 +24,54 @@ func TestRunSpecValidatesOutputs(t *testing.T) {
 	}
 }
 
+// An output name that is not declared in Arrays must surface as a
+// descriptive error up front — not a nil-pointer panic mid-validation.
+func TestRunSpecUndeclaredOutput(t *testing.T) {
+	spec, err := polybench.MakeGemm(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Outputs = append(spec.Outputs, "ghost")
+	_, err = RunSpec(spec, dbt.DefaultConfig())
+	if err == nil {
+		t.Fatal("RunSpec accepted an undeclared output")
+	}
+	if !strings.Contains(err.Error(), "ghost") || !strings.Contains(err.Error(), "not declared") {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+}
+
+// Slowdowns require the ModeUnsafe baseline: without it the Slowdown
+// map stays empty and renderers print n/a rather than a bogus 0.0%.
+func TestSlowdownRequiresBaseline(t *testing.T) {
+	k, err := polybench.ByName("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []core.Mode{core.ModeGhostBusters, core.ModeNoSpeculation}
+	row, err := RunKernel(k, 6, dbt.DefaultConfig(), modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Slowdown) != 0 {
+		t.Fatalf("slowdowns computed without a baseline: %v", row.Slowdown)
+	}
+	table := FormatRows([]*Row{row}, modes)
+	if !strings.Contains(table, "n/a") {
+		t.Fatalf("table should render n/a without a baseline:\n%s", table)
+	}
+	if strings.Contains(table, "0.0%") {
+		t.Fatalf("table renders a bogus 0.0%% slowdown:\n%s", table)
+	}
+	csv := CSV([]*Row{row}, modes)
+	if !strings.Contains(csv, ",n/a,") {
+		t.Fatalf("csv should render n/a without a baseline:\n%s", csv)
+	}
+	if strings.Contains(csv, ",0.0000,") {
+		t.Fatalf("csv renders a bogus 0.0000 slowdown:\n%s", csv)
+	}
+}
+
 func TestRunSpecDetectsWrongReference(t *testing.T) {
 	spec, err := polybench.MakeGemm(6)
 	if err != nil {

@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"ghostbusters/internal/attack"
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/polybench"
+)
+
+// Runner is the parallel experiment engine: it fans a (benchmark × mode)
+// matrix out as independent jobs over a bounded worker pool. Every job
+// runs on its own dbt.Machine, so no simulator state is shared and the
+// per-job results are bit-identical to a sequential run — only the wall
+// clock changes. The zero value is ready to use: GOMAXPROCS workers, no
+// timeout, collect-all error policy, uncached artifacts.
+type Runner struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Timeout is the wall-clock guard per job (0 = none). It complements
+	// the guest-cycle budget in Config.MaxCycles: MaxCycles bounds the
+	// simulated work, Timeout bounds host time. A job that exceeds it
+	// fails with context.DeadlineExceeded (the machine aborts via the
+	// Config.Interrupt hook).
+	Timeout time.Duration
+
+	// FailFast cancels all outstanding jobs as soon as one fails and
+	// returns that job's error. The default (false) runs the whole
+	// matrix and returns every failure joined together.
+	FailFast bool
+
+	// Artifacts, when non-nil, memoizes generated kernel sources and
+	// assembled programs across jobs, so an N-mode sweep assembles each
+	// kernel once instead of N times.
+	Artifacts *Artifacts
+}
+
+// Bench is one benchmark of the experiment matrix: a named job factory
+// the Runner instantiates once per mitigation mode. Run must be safe to
+// call concurrently (each call receives its own Config and must build
+// its own machine).
+type Bench struct {
+	Name string
+	Run  func(ctx context.Context, cfg dbt.Config, arts *Artifacts) (*KernelRun, error)
+}
+
+// KernelBench wraps a polybench kernel (n = 0 means the kernel's
+// DefaultN). The generated and assembled artifact is shared through the
+// runner's artifact cache.
+func KernelBench(k polybench.Kernel, n int) Bench {
+	if n == 0 {
+		n = k.DefaultN
+	}
+	return Bench{
+		Name: k.Name,
+		Run: func(_ context.Context, cfg dbt.Config, arts *Artifacts) (*KernelRun, error) {
+			art, err := arts.Kernel(k, n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return runArtifact(art, cfg)
+		},
+	}
+}
+
+// SpectreBench wraps a Spectre proof-of-concept application as a
+// benchmark, with the fixed secret the Figure 4 runs use.
+func SpectreBench(v attack.Variant) Bench {
+	return Bench{
+		Name: v.String(),
+		Run: func(_ context.Context, cfg dbt.Config, _ *Artifacts) (*KernelRun, error) {
+			res, err := attack.Run(v, cfg, attack.Params{Secret: []byte{0x5A, 0xC3}})
+			if err != nil {
+				return nil, err
+			}
+			return &KernelRun{Name: v.String(), Mode: cfg.Mitigation, Cycles: res.Cycles, Stats: res.Stats}, nil
+		},
+	}
+}
+
+// Fig4Benches builds the full Figure 4 benchmark list: every Polybench
+// kernel plus the two Spectre applications, in the paper's order.
+func Fig4Benches(sizeOverride int) []Bench {
+	var benches []Bench
+	for _, k := range polybench.All() {
+		benches = append(benches, KernelBench(k, sizeOverride))
+	}
+	for _, v := range []attack.Variant{attack.V1, attack.V4} {
+		benches = append(benches, SpectreBench(v))
+	}
+	return benches
+}
+
+// Fig4 runs the whole Figure 4 matrix on the runner's worker pool.
+func (r *Runner) Fig4(ctx context.Context, base dbt.Config, modes []core.Mode, sizeOverride int) ([]*Row, error) {
+	return r.RunMatrix(ctx, base, Fig4Benches(sizeOverride), modes)
+}
+
+// RunKernel measures one kernel under the given modes, fanning the
+// modes out over the pool.
+func (r *Runner) RunKernel(ctx context.Context, k polybench.Kernel, n int, base dbt.Config, modes []core.Mode) (*Row, error) {
+	rows, err := r.RunMatrix(ctx, base, []Bench{KernelBench(k, n)}, modes)
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// RunMatrix fans benches × modes out as independent jobs and folds the
+// completed runs into one Row per bench. Row order follows the benches
+// argument regardless of completion order, so output is deterministic at
+// any worker count.
+func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench, modes []core.Mode) ([]*Row, error) {
+	nb, nm := len(benches), len(modes)
+	if nb == 0 || nm == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nb*nm {
+		workers = nb * nm
+	}
+
+	type job struct{ bi, mi int }
+	jobs := make(chan job)
+	runs := make([]*KernelRun, nb*nm)
+	errs := make([]error, nb*nm)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				idx := j.bi*nm + j.mi
+				if ctx.Err() != nil {
+					errs[idx] = fmt.Errorf("harness: %s (%s): skipped: %w",
+						benches[j.bi].Name, modes[j.mi], ctx.Err())
+					continue
+				}
+				runs[idx], errs[idx] = r.runOne(ctx, base, benches[j.bi], modes[j.mi])
+				if errs[idx] != nil && r.FailFast {
+					cancel()
+				}
+			}
+		}()
+	}
+	for bi := range benches {
+		for mi := range modes {
+			jobs <- job{bi, mi}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Collect failures in deterministic job order.
+	var errList []error
+	for _, err := range errs {
+		if err != nil {
+			errList = append(errList, err)
+		}
+	}
+	if len(errList) > 0 {
+		if r.FailFast {
+			// The root cause is the first error that is not a
+			// cancellation ripple from the fail-fast cancel itself.
+			for _, err := range errList {
+				if !errors.Is(err, context.Canceled) {
+					return nil, err
+				}
+			}
+			return nil, errList[0]
+		}
+		return nil, errors.Join(errList...)
+	}
+
+	rows := make([]*Row, nb)
+	for bi, b := range benches {
+		row := newRow(b.Name)
+		for mi, mode := range modes {
+			run := runs[bi*nm+mi]
+			row.Cycles[mode] = run.Cycles
+			row.Stats[mode] = run.Stats
+		}
+		row.normalize()
+		rows[bi] = row
+	}
+	return rows, nil
+}
+
+// runOne executes a single matrix cell: its own config (mode applied),
+// its own wall-clock guard, its own machine.
+func (r *Runner) runOne(ctx context.Context, base dbt.Config, b Bench, mode core.Mode) (*KernelRun, error) {
+	runCtx := ctx
+	if r.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, r.Timeout)
+		defer cancel()
+	}
+	cfg := base
+	cfg.Mitigation = mode
+	cfg.Interrupt = runCtx.Done()
+	run, err := b.Run(runCtx, cfg, r.Artifacts)
+	if err != nil {
+		prefix := ""
+		if !strings.HasPrefix(err.Error(), "harness: ") {
+			prefix = fmt.Sprintf("harness: %s (%s): ", b.Name, mode)
+		}
+		if cerr := runCtx.Err(); cerr != nil {
+			return nil, fmt.Errorf("%s%w: %v", prefix, cerr, err)
+		}
+		return nil, fmt.Errorf("%s%w", prefix, err)
+	}
+	return run, nil
+}

@@ -12,65 +12,94 @@ import (
 // arrive with initialised data; generating init loops in the guest would
 // only add warm-up noise) and reads results back afterwards.
 
-// InitArray writes values into the guest array. For row-pointer arrays
+// Placement is an array's resolved location within one assembled program
+// image. The harness resolves placements once per artifact and shares
+// them between runs: a Placement is read-only after Resolve and safe for
+// concurrent use from many machines.
+type Placement struct {
+	Arr   *Array
+	Base  uint64 // element data
+	Table uint64 // row-pointer table (Ptr arrays only)
+}
+
+// Resolve locates every array in prog's symbol table.
+func Resolve(prog *riscv.Program, arrays []*Array) ([]Placement, error) {
+	out := make([]Placement, len(arrays))
+	for i, a := range arrays {
+		p := Placement{Arr: a}
+		if a.Ptr {
+			table, ok := prog.Symbol(a.Name + "_rows")
+			if !ok {
+				return nil, fmt.Errorf("kbuild: %s: missing row table symbol", a.Name)
+			}
+			data, ok := prog.Symbol(a.Name + "_data")
+			if !ok {
+				return nil, fmt.Errorf("kbuild: %s: missing data symbol", a.Name)
+			}
+			p.Table, p.Base = table, data
+		} else {
+			base, ok := prog.Symbol(a.Name)
+			if !ok {
+				return nil, fmt.Errorf("kbuild: %s: missing symbol", a.Name)
+			}
+			p.Base = base
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// Init writes values into the placed guest array. For row-pointer arrays
 // it also fills the pointer table.
-func InitArray(mem *guestmem.Memory, prog *riscv.Program, a *Array, values []int64) error {
+func (p Placement) Init(mem *guestmem.Memory, values []int64) error {
+	a := p.Arr
 	if len(values) != a.Elems() {
 		return fmt.Errorf("kbuild: %s: %d values for %d elements", a.Name, len(values), a.Elems())
 	}
 	if a.Ptr {
-		table, ok := prog.Symbol(a.Name + "_rows")
-		if !ok {
-			return fmt.Errorf("kbuild: %s: missing row table symbol", a.Name)
-		}
-		data, ok := prog.Symbol(a.Name + "_data")
-		if !ok {
-			return fmt.Errorf("kbuild: %s: missing data symbol", a.Name)
-		}
 		for r := 0; r < a.Rows; r++ {
-			rowAddr := data + uint64(r*a.Cols*8)
-			if err := mem.Write(table+uint64(8*r), 8, rowAddr); err != nil {
+			rowAddr := p.Base + uint64(r*a.Cols*8)
+			if err := mem.Write(p.Table+uint64(8*r), 8, rowAddr); err != nil {
 				return err
 			}
 		}
-		for i, v := range values {
-			if err := mem.Write(data+uint64(8*i), 8, uint64(v)); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	base, ok := prog.Symbol(a.Name)
-	if !ok {
-		return fmt.Errorf("kbuild: %s: missing symbol", a.Name)
 	}
 	for i, v := range values {
-		if err := mem.Write(base+uint64(8*i), 8, uint64(v)); err != nil {
+		if err := mem.Write(p.Base+uint64(8*i), 8, uint64(v)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// ReadArray fetches the current contents of a guest array.
-func ReadArray(mem *guestmem.Memory, prog *riscv.Program, a *Array) ([]int64, error) {
-	var base uint64
-	var ok bool
-	if a.Ptr {
-		base, ok = prog.Symbol(a.Name + "_data")
-	} else {
-		base, ok = prog.Symbol(a.Name)
-	}
-	if !ok {
-		return nil, fmt.Errorf("kbuild: %s: missing symbol", a.Name)
-	}
-	out := make([]int64, a.Elems())
+// Read fetches the current contents of the placed guest array.
+func (p Placement) Read(mem *guestmem.Memory) ([]int64, error) {
+	out := make([]int64, p.Arr.Elems())
 	for i := range out {
-		v, err := mem.Read(base+uint64(8*i), 8)
+		v, err := mem.Read(p.Base+uint64(8*i), 8)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = int64(v)
 	}
 	return out, nil
+}
+
+// InitArray writes values into the guest array, resolving its placement
+// on the fly (one-shot convenience around Resolve + Placement.Init).
+func InitArray(mem *guestmem.Memory, prog *riscv.Program, a *Array, values []int64) error {
+	pl, err := Resolve(prog, []*Array{a})
+	if err != nil {
+		return err
+	}
+	return pl[0].Init(mem, values)
+}
+
+// ReadArray fetches the current contents of a guest array.
+func ReadArray(mem *guestmem.Memory, prog *riscv.Program, a *Array) ([]int64, error) {
+	pl, err := Resolve(prog, []*Array{a})
+	if err != nil {
+		return nil, err
+	}
+	return pl[0].Read(mem)
 }

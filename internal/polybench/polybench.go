@@ -17,7 +17,9 @@ import (
 )
 
 // Spec is a fully-instantiated kernel: assembly source, initial data,
-// and the reference results to validate against.
+// and the reference results to validate against. A Spec is read-only
+// after Make returns — the harness shares one Spec between concurrently
+// running machines, so callers must not mutate it.
 type Spec struct {
 	Name     string
 	N        int
@@ -33,6 +35,17 @@ type Kernel struct {
 	Name     string
 	DefaultN int
 	Make     func(n int) (*Spec, error)
+}
+
+// CacheKey identifies the artifact Make(n) produces: the generated
+// source, the assembled image and the reference outputs are all pure
+// functions of (kernel name, n), so the key is exactly that pair. A zero
+// n normalises to DefaultN, matching the harness's size handling.
+func (k Kernel) CacheKey(n int) string {
+	if n == 0 {
+		n = k.DefaultN
+	}
+	return fmt.Sprintf("%s/n%d", k.Name, n)
 }
 
 // All returns the benchmark suite in Figure 4 order.

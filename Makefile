@@ -1,16 +1,22 @@
 # Development gate for the GhostBusters reproduction.
 #
-#   make check   vet + race-enabled tests (what CI runs)
+#   make check   gofmt + vet + race-enabled tests (what CI runs)
 #   make test    fast test pass
-#   make bench   regenerate the paper's tables' benchmarks
+#   make bench   host-performance benchmarks, benchstat-compatible output
 #   make fig4    print the Figure 4 table (parallel harness)
+#   make perf    record the Figure 4 perf JSON (BENCH_fig4.json schema)
 
 GO ?= go
 
-.PHONY: build test vet race check bench fig4
+.PHONY: build fmt test vet race check bench bench-quick fig4 perf
 
 build:
 	$(GO) build ./...
+
+# gofmt -l lists nonconforming files; any output fails the gate.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -21,10 +27,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build fmt vet race
 
+# Full benchmark sweep across every package, with allocation counts.
+# The output is benchstat-compatible: run it on two checkouts with
+# -count as below and feed both logs to benchstat.
+#   make bench BENCHFLAGS='-count 10' > new.txt
 bench:
+	$(GO) test -bench . -benchmem -run '^$$' $(BENCHFLAGS) ./...
+
+# One quick iteration of the top-level table benchmarks only.
+bench-quick:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 fig4:
 	$(GO) run ./cmd/gbbench -exp fig4
+
+perf:
+	$(GO) run ./cmd/gbbench -exp fig4 -perfjson BENCH_fig4.json

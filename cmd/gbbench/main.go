@@ -12,6 +12,18 @@
 // -j bounds the pool (default GOMAXPROCS) and -timeout puts a
 // wall-clock guard on every individual run. Results are deterministic —
 // -j 8 produces byte-identical tables to -j 1, just faster.
+//
+// The perf-regression layer rides on the matrix experiments:
+//
+//	gbbench -exp fig4 -perfjson out.json    record host wall clock and
+//	                                        simulated cycles per
+//	                                        (benchmark, mode)
+//	gbbench -exp fig4 -checkperf base.json  fail (exit 1) if any pair's
+//	                                        simulated cycles exceed the
+//	                                        baseline's
+//
+// -cpuprofile and -memprofile write pprof profiles of the simulator
+// itself (go tool pprof), for hunting host-side performance problems.
 package main
 
 import (
@@ -20,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ghostbusters/internal/core"
@@ -37,6 +50,10 @@ func main() {
 	csv := flag.Bool("csv", false, "machine-readable CSV output (fig4/ptrmm/kernel)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel benchmark jobs (>= 1)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit per benchmark run (0 = none)")
+	perfjson := flag.String("perfjson", "", "write per-(benchmark,mode) perf JSON to this file (fig4/ptrmm/kernel)")
+	checkperf := flag.String("checkperf", "", "fail on simulated-cycle regressions vs this perf JSON baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	if *n < 0 {
@@ -48,6 +65,9 @@ func main() {
 	if *timeout < 0 {
 		usageError("gbbench: -timeout must be >= 0, got %v", *timeout)
 	}
+
+	startProfiles(*cpuprofile, *memprofile)
+	defer flushProfiles()
 
 	base := dbt.DefaultConfig()
 	switch *width {
@@ -68,6 +88,24 @@ func main() {
 	}
 	ctx := context.Background()
 
+	// perfOut records and/or checks the perf JSON for a matrix result.
+	// The current report is always written before the baseline check, so
+	// CI can upload the measurement even from a failing run.
+	perfOut := func(rows []*harness.Row) {
+		if *perfjson == "" && *checkperf == "" {
+			return
+		}
+		rep := harness.PerfFromRows(rows, harness.Fig4Modes)
+		if *perfjson != "" {
+			fail(rep.WriteFile(*perfjson))
+		}
+		if *checkperf != "" {
+			baseline, err := harness.ReadPerf(*checkperf)
+			fail(err)
+			fail(harness.CheckPerf(rep, baseline))
+		}
+	}
+
 	switch *exp {
 	case "fig4":
 		start := time.Now()
@@ -76,6 +114,7 @@ func main() {
 		// Timing goes to stderr so stdout stays byte-identical at any -j.
 		fmt.Fprintf(os.Stderr, "gbbench: %d benchmarks x %d modes on %d workers in %v\n",
 			len(rows), len(harness.Fig4Modes), *jobs, time.Since(start).Round(time.Millisecond))
+		perfOut(rows)
 		if *csv {
 			fmt.Print(harness.CSV(rows, harness.Fig4Modes))
 			return
@@ -97,6 +136,7 @@ func main() {
 		fail(err)
 		row, err := runner.RunKernel(ctx, k, *n, base, harness.Fig4Modes)
 		fail(err)
+		perfOut([]*harness.Row{row})
 		if *csv {
 			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
 			return
@@ -115,6 +155,7 @@ func main() {
 		fail(err)
 		row, err := runner.RunKernel(ctx, k, *n, base, harness.Fig4Modes)
 		fail(err)
+		perfOut([]*harness.Row{row})
 		if *csv {
 			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
 			return
@@ -132,9 +173,51 @@ func usageError(format string, args ...any) {
 	os.Exit(2)
 }
 
+// fail flushes any in-flight profiles before exiting: os.Exit skips
+// deferred calls, and a truncated CPU profile is worse than none.
 func fail(err error) {
 	if err != nil {
+		flushProfiles()
 		fmt.Fprintln(os.Stderr, "gbbench:", err)
 		os.Exit(1)
+	}
+}
+
+var (
+	cpuProfileFile  *os.File
+	memProfilePath  string
+	profilesFlushed bool
+)
+
+func startProfiles(cpu, mem string) {
+	memProfilePath = mem
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		fail(err)
+		cpuProfileFile = f
+		fail(pprof.StartCPUProfile(f))
+	}
+}
+
+func flushProfiles() {
+	if profilesFlushed {
+		return
+	}
+	profilesFlushed = true
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbbench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // one final collection for accurate live-heap numbers
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gbbench:", err)
+		}
 	}
 }

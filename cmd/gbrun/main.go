@@ -4,13 +4,17 @@
 //	gbrun [-mode unsafe|ghostbusters|fence|nospec] [-width 2|4|8]
 //	      [-interp] [-stats] program.s
 //
-// The exit status is the guest's exit code.
+// The exit status is the guest's exit code. -cpuprofile and -memprofile
+// write pprof profiles of the simulator itself (host-side performance,
+// not guest cycles).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ghostbusters"
 	"ghostbusters/internal/vliw"
@@ -23,6 +27,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print machine statistics")
 	trace := flag.Bool("trace", false, "log every block dispatch and taken branch to stderr")
 	profile := flag.Bool("profile", false, "print the hottest translated regions")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -32,6 +38,8 @@ func main() {
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	fail(err)
+
+	startProfiles(*cpuprofile, *memprofile)
 
 	m, err := ghostbusters.ParseMode(*mode)
 	fail(err)
@@ -82,12 +90,55 @@ func main() {
 		fmt.Printf("patterns=%d risky-loads=%d guard-edges=%d compile-errors=%d\n",
 			s.PatternsFound, s.RiskyLoads, s.GuardEdges, s.CompileErrs)
 	}
+	// os.Exit skips deferred calls, so profiles are flushed explicitly
+	// before propagating the guest's exit code.
+	flushProfiles()
 	os.Exit(int(res.Exit.Code))
 }
 
 func fail(err error) {
 	if err != nil {
+		flushProfiles()
 		fmt.Fprintln(os.Stderr, "gbrun:", err)
 		os.Exit(1)
+	}
+}
+
+var (
+	cpuProfileFile  *os.File
+	memProfilePath  string
+	profilesFlushed bool
+)
+
+func startProfiles(cpu, mem string) {
+	memProfilePath = mem
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		fail(err)
+		cpuProfileFile = f
+		fail(pprof.StartCPUProfile(f))
+	}
+}
+
+func flushProfiles() {
+	if profilesFlushed {
+		return
+	}
+	profilesFlushed = true
+	if cpuProfileFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfileFile.Close()
+	}
+	if memProfilePath != "" {
+		f, err := os.Create(memProfilePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gbrun:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // one final collection for accurate live-heap numbers
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gbrun:", err)
+		}
 	}
 }

@@ -17,6 +17,13 @@ import (
 type Bus struct {
 	Mem *guestmem.Memory
 	DC  *cache.Cache
+
+	// OnStore, when non-nil, observes every successful architectural
+	// store (address, size) regardless of which execution mode issued it.
+	// The DBT machine hooks the interpreter's predecode table here so
+	// self-modifying guest code invalidates stale decoded entries; the
+	// hook must be cheap (it runs on the store hot path).
+	OnStore func(addr uint64, size int)
 }
 
 // New builds a Bus over mem with a cache configured by cfg.
@@ -60,6 +67,9 @@ func (b *Bus) Store(addr uint64, size int, val uint64) (uint64, error) {
 		return 0, err
 	}
 	lat, _ := b.DC.Access(addr)
+	if b.OnStore != nil {
+		b.OnStore(addr, size)
+	}
 	return lat, nil
 }
 

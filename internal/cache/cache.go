@@ -53,10 +53,14 @@ type line struct {
 	lru   uint64 // last-use stamp
 }
 
-// Cache is a set-associative LRU cache timing model.
+// Cache is a set-associative LRU cache timing model. The line array is
+// one flat slice (set-major), so the timed lookup path — the innermost
+// primitive of the whole simulator — is a single bounds-checked slice
+// into contiguous memory with no per-set pointer chase and no
+// allocation.
 type Cache struct {
 	cfg   Config
-	sets  [][]line
+	lines []line // Sets*Ways entries; set s occupies [s*Ways, (s+1)*Ways)
 	stamp uint64
 	stats Stats
 }
@@ -67,11 +71,7 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	sets := make([][]line, cfg.Sets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
-	}
-	return &Cache{cfg: cfg, sets: sets}
+	return &Cache{cfg: cfg, lines: make([]line, cfg.Sets*cfg.Ways)}
 }
 
 // Config returns the cache geometry.
@@ -91,7 +91,7 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 func (c *Cache) Access(addr uint64) (latency uint64, hit bool) {
 	c.stamp++
 	set, tag := c.index(addr)
-	ways := c.sets[set]
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i].lru = c.stamp
@@ -118,7 +118,7 @@ func (c *Cache) Access(addr uint64) (latency uint64, hit bool) {
 // touching LRU state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	for _, l := range c.sets[set] {
+	for _, l := range c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways] {
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -129,9 +129,10 @@ func (c *Cache) Probe(addr uint64) bool {
 // FlushLine invalidates the line containing addr (the cflush instruction).
 func (c *Cache) FlushLine(addr uint64) {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
-			c.sets[set][i] = line{}
+	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i] = line{}
 			c.stats.Flushes++
 		}
 	}
@@ -141,13 +142,11 @@ func (c *Cache) FlushLine(addr uint64) {
 // FlushLine, Stats.Flushes counts each line actually invalidated — not
 // one per instruction — so the two flush strategies are comparable.
 func (c *Cache) FlushAll() {
-	for _, ways := range c.sets {
-		for i := range ways {
-			if ways[i].valid {
-				c.stats.Flushes++
-			}
-			ways[i] = line{}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			c.stats.Flushes++
 		}
+		c.lines[i] = line{}
 	}
 }
 

@@ -208,3 +208,31 @@ func TestNewPanicsOnBadConfig(t *testing.T) {
 	}()
 	New(Config{Sets: 3, Ways: 1, LineSize: 64})
 }
+
+// The timed lookup is the innermost primitive of the simulator: it must
+// never allocate, hit or miss, so the flat line array stays the only
+// storage the cache ever touches after New.
+func TestAccessZeroAllocs(t *testing.T) {
+	c := New(DefaultConfig())
+	var addr uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		addr += 64
+		c.Access(addr) // miss path (fill + possible eviction)
+		c.Access(addr) // hit path
+		c.Probe(addr)
+		c.FlushLine(addr - 4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("cache access path allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Stride over 4× the cache capacity: a realistic hit/miss mix.
+		c.Access(uint64(i%1024) * 64)
+	}
+}

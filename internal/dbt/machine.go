@@ -56,6 +56,13 @@ type Config struct {
 	DisableTranslation bool // pure interpreter (debugging/reference)
 	DisableTraces      bool // first-pass blocks only
 
+	// DisablePredecode turns off the interpreter's decoded-instruction
+	// side table, forcing a fetch+decode on every interpreted
+	// instruction. The table is purely a host-side accelerator —
+	// guest-visible behaviour (cycle counts, results, attack outcomes)
+	// is identical either way, and the differential tests assert it.
+	DisablePredecode bool
+
 	// MaxCycles aborts runaway guests. 0 means no limit.
 	MaxCycles uint64
 
@@ -154,6 +161,11 @@ type Machine struct {
 	state riscv.State
 	vregs [vliw.NumRegs]uint64
 
+	// pred caches decoded instructions for the interpreter over the
+	// loaded program's text; nil when disabled or before Load. Guest
+	// stores invalidate overlapping entries via the bus store hook.
+	pred *riscv.Predecode
+
 	cycles uint64
 
 	entries  map[uint64]uint64
@@ -178,7 +190,7 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.BiasThreshold <= 0.5 || cfg.BiasThreshold > 1 {
 		return nil, fmt.Errorf("dbt: BiasThreshold %v out of (0.5, 1]", cfg.BiasThreshold)
 	}
-	mem := guestmem.New(cfg.MemBase, cfg.MemSize)
+	mem := guestmem.NewPooled(cfg.MemBase, cfg.MemSize)
 	m := &Machine{
 		cfg:      cfg,
 		mem:      mem,
@@ -205,7 +217,10 @@ func (m *Machine) Cycles() uint64 { return m.cycles }
 func (m *Machine) State() *riscv.State { return &m.state }
 
 // Load places an assembled program into guest memory and points the PC
-// at its entry. The stack pointer is set to the top of memory.
+// at its entry. The stack pointer is set to the top of memory. Unless
+// disabled, a predecode table is set up over the text region and wired
+// to the bus store hook, so self-modifying code invalidates stale
+// entries no matter which execution mode issued the store.
 func (m *Machine) Load(p *riscv.Program) error {
 	for i, w := range p.Text {
 		if err := m.mem.Write(p.TextBase+uint64(4*i), 4, uint64(w)); err != nil {
@@ -217,9 +232,33 @@ func (m *Machine) Load(p *riscv.Program) error {
 			return fmt.Errorf("dbt: loading data: %w", err)
 		}
 	}
+	if !m.cfg.DisablePredecode {
+		m.pred = riscv.NewPredecode(p.TextBase, len(p.Text))
+		m.b.OnStore = m.pred.Invalidate
+	}
 	m.state = riscv.State{PC: p.Entry}
 	m.state.X[2] = m.mem.Top() - 64 // sp
 	return nil
+}
+
+// Release recycles the machine's guest memory into the reuse pool. Call
+// it once all results have been read out of the machine; the machine
+// (including Mem) must not be used afterwards. Release is idempotent,
+// and skipping it is always safe — the memory is then simply collected
+// by the GC instead of being reused.
+func (m *Machine) Release() {
+	if m.mem == nil {
+		return
+	}
+	m.mem.Recycle()
+	m.mem = nil
+	m.b = nil
+}
+
+// PredecodeStats reports the interpreter side-table counters (zero when
+// the table is disabled).
+func (m *Machine) PredecodeStats() riscv.PredecodeStats {
+	return m.pred.Stats()
 }
 
 // oracle reports the biased direction of a profiled branch.
@@ -377,7 +416,7 @@ func (m *Machine) Run() (*Result, error) {
 			continue
 		}
 
-		res := riscv.Step(&m.state, m.b, m.cfg.Interp, m.cycles)
+		res := riscv.StepPredecoded(&m.state, m.b, m.cfg.Interp, m.cycles, m.pred)
 		m.cycles += res.Cycles
 		m.stats.InterpInsts++
 		switch res.Event.Kind {

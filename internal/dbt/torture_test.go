@@ -239,6 +239,77 @@ func genBlockCopy(b *ir.Block) *ir.Block {
 	return cp
 }
 
+// Self-modifying code: a guest program that stores over its own text
+// must observe the new bytes when the patched instruction is next
+// interpreted. This is the correctness contract of the predecode side
+// table — a store invalidates the decoded slot via the bus hook, so the
+// second pass re-decodes from memory. The patched instruction executes
+// once before the store (so it is definitely in the table) and once
+// after.
+func TestSelfModifyingCode(t *testing.T) {
+	// The replacement instruction is encoded by the real encoder and
+	// materialised in a register with li, then stored over the patch
+	// site: addi a0, a0, 100 replaces addi a0, a0, 1.
+	newWord, err := riscv.Encode(riscv.Inst{Op: riscv.ADDI, Rd: 10, Rs1: 10, Imm: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(`
+main:
+	li a0, 0
+	li s1, 0
+	la s2, patch
+	li s3, %d
+loop:
+patch:
+	addi a0, a0, 1
+	sw s3, 0(s2)
+	addi s1, s1, 1
+	li t0, 2
+	blt s1, t0, loop
+	ecall
+`, newWord)
+	// Pass 1 adds 1, pass 2 runs the patched word and adds 100.
+	const wantExit = 101
+
+	cfgs := map[string]Config{}
+	cfgs["predecode"] = DefaultConfig()
+	noPre := DefaultConfig()
+	noPre.DisablePredecode = true
+	cfgs["no-predecode"] = noPre
+	interp := DefaultConfig()
+	interp.DisableTranslation = true
+	cfgs["interp-predecode"] = interp
+	interpNoPre := interp
+	interpNoPre.DisablePredecode = true
+	cfgs["interp-no-predecode"] = interpNoPre
+
+	cycles := map[string]uint64{}
+	for name, cfg := range cfgs {
+		res, m := runSrc(t, src, cfg)
+		if res.Exit.Code != wantExit {
+			t.Fatalf("%s: exit code %d, want %d (patched instruction not observed)",
+				name, res.Exit.Code, wantExit)
+		}
+		cycles[name] = res.Cycles
+		if !cfg.DisablePredecode {
+			if st := m.PredecodeStats(); st.Invalidations == 0 {
+				t.Errorf("%s: store over text invalidated no predecode slots: %+v", name, st)
+			}
+		}
+	}
+	// The side table is a host accelerator: cycle counts must be
+	// bit-identical with it on and off.
+	if cycles["predecode"] != cycles["no-predecode"] {
+		t.Errorf("cycle counts diverge with predecode: %d vs %d",
+			cycles["predecode"], cycles["no-predecode"])
+	}
+	if cycles["interp-predecode"] != cycles["interp-no-predecode"] {
+		t.Errorf("interpreter cycle counts diverge with predecode: %d vs %d",
+			cycles["interp-predecode"], cycles["interp-no-predecode"])
+	}
+}
+
 // Ensure the generator actually produces the speculation shapes we care
 // about (otherwise the torture proves nothing).
 func TestTortureGeneratorCoverage(t *testing.T) {

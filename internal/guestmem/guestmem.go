@@ -8,12 +8,25 @@ package guestmem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
+
+// pageShift is the dirty-tracking granularity: 4 KiB pages. Coarse enough
+// that marking a page is one store on the write path, fine enough that a
+// Reset of a typical guest (text + data at the bottom, a little stack at
+// the top) touches kilobytes instead of the whole image.
+const pageShift = 12
 
 // Memory is a flat little-endian guest memory starting at Base.
 type Memory struct {
 	base uint64
 	data []byte
+
+	// dirty marks pages that may hold nonzero bytes. Reset zeroes only
+	// those, which is what makes pooled reuse of a multi-megabyte guest
+	// image cheap: allocating (and the runtime zeroing) a fresh 16 MiB
+	// buffer per run used to dominate the whole simulator's host profile.
+	dirty []bool
 
 	protStart, protEnd uint64 // [start, end) read-protected when protEnd > protStart
 }
@@ -31,7 +44,69 @@ func (e *ErrFault) Error() string {
 
 // New allocates size bytes of guest memory based at base.
 func New(base, size uint64) *Memory {
-	return &Memory{base: base, data: make([]byte, size)}
+	return &Memory{
+		base:  base,
+		data:  make([]byte, size),
+		dirty: make([]bool, (size+(1<<pageShift)-1)>>pageShift),
+	}
+}
+
+// pools recycles Memory instances per (base, size) geometry, so the
+// simulator can run thousands of short guests without allocating — and
+// the runtime zeroing — a fresh multi-megabyte image each time.
+var pools sync.Map // [2]uint64{base, size} -> *sync.Pool
+
+func poolFor(base, size uint64) *sync.Pool {
+	p, _ := pools.LoadOrStore([2]uint64{base, size}, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// NewPooled returns a zeroed Memory of the requested geometry, reusing a
+// recycled instance when one is available. The result is indistinguishable
+// from New's: all bytes zero, no protection.
+func NewPooled(base, size uint64) *Memory {
+	if v := poolFor(base, size).Get(); v != nil {
+		return v.(*Memory)
+	}
+	return New(base, size)
+}
+
+// Recycle resets the memory and returns it to the reuse pool. Ownership
+// transfers to the pool: the caller must not touch m afterwards.
+func (m *Memory) Recycle() {
+	m.Reset()
+	poolFor(m.base, uint64(len(m.data))).Put(m)
+}
+
+// Reset restores the memory to its freshly-allocated state — all bytes
+// zero, protection cleared — zeroing only the pages that were written.
+func (m *Memory) Reset() {
+	for p, d := range m.dirty {
+		if !d {
+			continue
+		}
+		lo := p << pageShift
+		hi := lo + 1<<pageShift
+		if hi > len(m.data) {
+			hi = len(m.data)
+		}
+		clear(m.data[lo:hi])
+		m.dirty[p] = false
+	}
+	m.protStart, m.protEnd = 0, 0
+}
+
+// markDirty records that [addr, addr+size) was written. Bounds are
+// already validated by the caller.
+func (m *Memory) markDirty(addr uint64, size int) {
+	lo := (addr - m.base) >> pageShift
+	hi := (addr - m.base + uint64(size) - 1) >> pageShift
+	m.dirty[lo] = true
+	if hi != lo {
+		for p := lo + 1; p <= hi; p++ {
+			m.dirty[p] = true
+		}
+	}
 }
 
 // Base returns the lowest valid guest address.
@@ -100,6 +175,9 @@ func (m *Memory) Write(addr uint64, size int, val uint64) error {
 	if err := m.check(addr, size); err != nil {
 		return err
 	}
+	if size > 0 {
+		m.markDirty(addr, size)
+	}
 	off := addr - m.base
 	for i := 0; i < size; i++ {
 		m.data[off+uint64(i)] = byte(val >> (8 * i))
@@ -121,6 +199,9 @@ func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
 func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 	if err := m.check(addr, len(b)); err != nil {
 		return err
+	}
+	if len(b) > 0 {
+		m.markDirty(addr, len(b))
 	}
 	copy(m.data[addr-m.base:], b)
 	return nil

@@ -27,6 +27,12 @@ type KernelRun struct {
 	Mode   core.Mode
 	Cycles uint64
 	Stats  dbt.Stats
+	// HostNS is host wall-clock time for the run in nanoseconds,
+	// measured by the Runner around the whole job (build, load, run,
+	// validate). Zero when the run was not produced by a Runner. Host
+	// time is a property of the simulator, not the simulated machine:
+	// it feeds the perf-regression layer, never the guest.
+	HostNS int64
 }
 
 // RunSpec executes a kernel spec on a fresh machine and validates every
@@ -49,6 +55,10 @@ func runArtifact(art *Artifact, cfg dbt.Config) (*KernelRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Recycle the guest memory once the outputs have been validated
+	// (Placement.Read copies): a matrix sweep then reuses one image per
+	// worker instead of allocating a fresh multi-megabyte one per cell.
+	defer m.Release()
 	if err := m.Load(art.Prog); err != nil {
 		return nil, err
 	}
@@ -116,6 +126,7 @@ type Row struct {
 	Cycles   map[core.Mode]uint64
 	Slowdown map[core.Mode]float64 // relative to ModeUnsafe; empty without the baseline
 	Stats    map[core.Mode]dbt.Stats
+	HostNS   map[core.Mode]int64 // host wall clock per run (perf layer; not rendered in tables)
 }
 
 func newRow(name string) *Row {
@@ -124,6 +135,7 @@ func newRow(name string) *Row {
 		Cycles:   map[core.Mode]uint64{},
 		Slowdown: map[core.Mode]float64{},
 		Stats:    map[core.Mode]dbt.Stats{},
+		HostNS:   map[core.Mode]int64{},
 	}
 }
 

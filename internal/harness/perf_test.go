@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ghostbusters/internal/core"
+)
+
+func perfRow(name string, cycles uint64) *Row {
+	r := newRow(name)
+	r.Cycles[core.ModeUnsafe] = cycles
+	r.HostNS[core.ModeUnsafe] = 123
+	return r
+}
+
+func TestPerfRoundTrip(t *testing.T) {
+	rows := []*Row{perfRow("gemm", 1000), perfRow("atax", 2000)}
+	rep := PerfFromRows(rows, []core.Mode{core.ModeUnsafe})
+	if rep.Schema != PerfSchema {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Entries) != 2 || rep.Entries[0].SimCycles != 1000 || rep.Entries[0].HostNS != 123 {
+		t.Fatalf("entries: %+v", rep.Entries)
+	}
+
+	path := filepath.Join(t.TempDir(), "perf.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPerf(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || len(back.Entries) != 2 ||
+		back.Entries[0] != rep.Entries[0] || back.Entries[1] != rep.Entries[1] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestReadPerfRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perf.json")
+	rep := &PerfReport{Schema: "ghostbusters/bench/v0"}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPerf(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}
+
+func TestCheckPerf(t *testing.T) {
+	baseline := &PerfReport{Schema: PerfSchema, Entries: []PerfEntry{
+		{Benchmark: "gemm", Mode: "unsafe", SimCycles: 1000},
+		{Benchmark: "atax", Mode: "unsafe", SimCycles: 500},
+	}}
+
+	// Identical cycles pass; host time differences are irrelevant.
+	same := &PerfReport{Schema: PerfSchema, Entries: []PerfEntry{
+		{Benchmark: "gemm", Mode: "unsafe", SimCycles: 1000, HostNS: 99999},
+		{Benchmark: "atax", Mode: "unsafe", SimCycles: 500},
+	}}
+	if err := CheckPerf(same, baseline); err != nil {
+		t.Fatalf("identical cycles flagged: %v", err)
+	}
+
+	// Improvements pass; new benchmarks without expectations pass.
+	better := &PerfReport{Schema: PerfSchema, Entries: []PerfEntry{
+		{Benchmark: "gemm", Mode: "unsafe", SimCycles: 900},
+		{Benchmark: "atax", Mode: "unsafe", SimCycles: 500},
+		{Benchmark: "new-kernel", Mode: "unsafe", SimCycles: 1 << 40},
+	}}
+	if err := CheckPerf(better, baseline); err != nil {
+		t.Fatalf("improvement flagged: %v", err)
+	}
+
+	// A single extra cycle is a regression, and a dropped benchmark is
+	// an error, and both are reported together.
+	worse := &PerfReport{Schema: PerfSchema, Entries: []PerfEntry{
+		{Benchmark: "gemm", Mode: "unsafe", SimCycles: 1001},
+	}}
+	err := CheckPerf(worse, baseline)
+	if err == nil {
+		t.Fatal("regression not flagged")
+	}
+	if !strings.Contains(err.Error(), "gemm") || !strings.Contains(err.Error(), "atax") {
+		t.Fatalf("expected both violations in error, got: %v", err)
+	}
+}

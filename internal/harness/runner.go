@@ -194,6 +194,7 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 			run := runs[bi*nm+mi]
 			row.Cycles[mode] = run.Cycles
 			row.Stats[mode] = run.Stats
+			row.HostNS[mode] = run.HostNS
 		}
 		row.normalize()
 		rows[bi] = row
@@ -213,7 +214,9 @@ func (r *Runner) runOne(ctx context.Context, base dbt.Config, b Bench, mode core
 	cfg := base
 	cfg.Mitigation = mode
 	cfg.Interrupt = runCtx.Done()
+	start := time.Now()
 	run, err := b.Run(runCtx, cfg, r.Artifacts)
+	hostNS := time.Since(start).Nanoseconds()
 	if err != nil {
 		prefix := ""
 		if !strings.HasPrefix(err.Error(), "harness: ") {
@@ -224,5 +227,6 @@ func (r *Runner) runOne(ctx context.Context, base dbt.Config, b Bench, mode core
 		}
 		return nil, fmt.Errorf("%s%w", prefix, err)
 	}
+	run.HostNS = hostNS
 	return run, nil
 }

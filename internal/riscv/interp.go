@@ -74,10 +74,29 @@ func Step(st *State, bus Bus, tm Timing, now uint64) StepResult {
 	if err != nil {
 		return StepResult{Event: Event{Kind: EvFault, Err: err, Addr: pc}}
 	}
-	in := Decode(word)
+	return stepDecoded(st, bus, tm, now, Decode(word))
+}
+
+// StepPredecoded is Step with a predecode side table: the instruction at
+// st.PC is served from pd when cached there, decoded (and cached) on
+// first touch, and fetched uncached when pc is outside pd's coverage. A
+// nil pd degrades to plain Step. Architectural behaviour is identical to
+// Step in every case — pd only removes redundant decode work.
+func StepPredecoded(st *State, bus Bus, tm Timing, now uint64, pd *Predecode) StepResult {
+	pc := st.PC
+	in, err := pd.fetch(pc, bus)
+	if err != nil {
+		return StepResult{Event: Event{Kind: EvFault, Err: err, Addr: pc}}
+	}
+	return stepDecoded(st, bus, tm, now, in)
+}
+
+// stepDecoded executes one already-decoded instruction at pc == st.PC.
+func stepDecoded(st *State, bus Bus, tm Timing, now uint64, in Inst) StepResult {
+	pc := st.PC
 	res := StepResult{Inst: in, Cycles: tm.BaseCPI}
 	if in.Op == OpIllegal {
-		res.Event = Event{Kind: EvFault, Err: fmt.Errorf("illegal instruction %#08x", word), Addr: pc}
+		res.Event = Event{Kind: EvFault, Err: fmt.Errorf("illegal instruction %#08x", in.Raw), Addr: pc}
 		return res
 	}
 

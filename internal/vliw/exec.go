@@ -43,6 +43,32 @@ type Core struct {
 
 	// Instret counts guest instructions retired by translated code.
 	Instret uint64
+
+	// scr holds the per-bundle scratch state, kept on the core so the
+	// steady-state execution loop is allocation-free: the pending-write
+	// and recovery lists grow to the widest bundle once and are then
+	// reused for every bundle of every block.
+	scr execScratch
+}
+
+// execScratch is reusable per-bundle working state. The written flags are
+// cleared by replaying the writes list (every set flag has a matching
+// list entry), so a bundle's bookkeeping costs O(writes), not O(NumRegs).
+type execScratch struct {
+	writes  []pendingWrite
+	recov   []int16
+	written [NumRegs]bool
+}
+
+// reset clears any flags left behind by the previous bundle — or by a
+// faulted earlier run, which can abandon the scratch mid-bundle — and
+// truncates the lists, keeping their capacity.
+func (s *execScratch) reset() {
+	for _, w := range s.writes {
+		s.written[w.reg] = false
+	}
+	s.writes = s.writes[:0]
+	s.recov = s.recov[:0]
 }
 
 // NewCore builds a core; it panics on an invalid configuration
@@ -71,10 +97,31 @@ func errPoisonUse(sy *Syllable) error {
 func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint64) ExitInfo {
 	hitLat := b.DC.Config().HitLatency
 	var poisoned [NumRegs]bool
+	scr := &c.scr
 
 	fault := func(err error, pc uint64) ExitInfo {
 		c.MCB.Reset()
 		return ExitInfo{Fault: err, FaultPC: pc}
+	}
+
+	read := func(r uint8) uint64 {
+		if r == 0 {
+			return 0
+		}
+		return regs[r]
+	}
+	poisonIn := func(r uint8) bool { return r != 0 && poisoned[r] }
+	write := func(sy *Syllable, v uint64, p bool) *ExitInfo {
+		if sy.Dst == 0 {
+			return nil
+		}
+		if scr.written[sy.Dst] {
+			ei := fault(fmt.Errorf("vliw: double write of r%d in one bundle", sy.Dst), sy.GuestPC)
+			return &ei
+		}
+		scr.written[sy.Dst] = true
+		scr.writes = append(scr.writes, pendingWrite{sy.Dst, v, p})
+		return nil
 	}
 
 	// Dispatching any block costs at least one cycle (the chain jump),
@@ -86,34 +133,12 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 	for _, bundle := range blk.Bundles {
 		*cycles++
 		c.Stats.Bundles++
+		scr.reset()
 
-		var writes []pendingWrite
-		var written [NumRegs]bool
 		exitTaken := false
 		var exitTo uint64
 		var nextPC uint64
 		haveNext := false
-		var recoveries []int16
-
-		read := func(r uint8) uint64 {
-			if r == 0 {
-				return 0
-			}
-			return regs[r]
-		}
-		poisonIn := func(r uint8) bool { return r != 0 && poisoned[r] }
-		write := func(sy *Syllable, v uint64, p bool) *ExitInfo {
-			if sy.Dst == 0 {
-				return nil
-			}
-			if written[sy.Dst] {
-				ei := fault(fmt.Errorf("vliw: double write of r%d in one bundle", sy.Dst), sy.GuestPC)
-				return &ei
-			}
-			written[sy.Dst] = true
-			writes = append(writes, pendingWrite{sy.Dst, v, p})
-			return nil
-		}
 
 		for i := range bundle {
 			sy := &bundle[i]
@@ -204,7 +229,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 					return fault(fmt.Errorf("vliw: speculative load fault at chk, guest pc %#x", sy.GuestPC), sy.GuestPC)
 				}
 				if conflict {
-					recoveries = append(recoveries, sy.Rec)
+					scr.recov = append(scr.recov, sy.Rec)
 				}
 
 			case KBrExit:
@@ -260,13 +285,13 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 		}
 
 		// Write phase: all bundle results commit together.
-		for _, w := range writes {
+		for _, w := range scr.writes {
 			regs[w.reg] = w.val
 			poisoned[w.reg] = w.poison
 		}
 
 		// MCB recoveries detected in this bundle, in check order.
-		for _, rec := range recoveries {
+		for _, rec := range scr.recov {
 			if int(rec) < 0 || int(rec) >= len(blk.Recoveries) {
 				return fault(fmt.Errorf("vliw: recovery %d out of range", rec), 0)
 			}

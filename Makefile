@@ -2,13 +2,15 @@
 #
 #   make check   gofmt + vet + race-enabled tests (what CI runs)
 #   make test    fast test pass
+#   make fuzz    run every native fuzz target for FUZZTIME (default 30s)
 #   make bench   host-performance benchmarks, benchstat-compatible output
 #   make fig4    print the Figure 4 table (parallel harness)
 #   make perf    record the Figure 4 perf JSON (BENCH_fig4.json schema)
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: build fmt test vet race check bench bench-quick fig4 perf
+.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf
 
 build:
 	$(GO) build ./...
@@ -28,6 +30,16 @@ race:
 	$(GO) test -race ./...
 
 check: build fmt vet race
+
+# go test -fuzz accepts one target pattern per package invocation, so
+# the targets run sequentially. Interesting inputs found here land in
+# the build cache; minimal crashers land in testdata/fuzz/ — commit
+# those as regression seeds.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$'       -fuzztime $(FUZZTIME) ./internal/riscv
+	$(GO) test -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/riscv
+	$(GO) test -run '^$$' -fuzz '^FuzzStep$$'         -fuzztime $(FUZZTIME) ./internal/riscv
+	$(GO) test -run '^$$' -fuzz '^FuzzInterpVsVLIW$$' -fuzztime $(FUZZTIME) ./internal/dbt
 
 # Full benchmark sweep across every package, with allocation counts.
 # The output is benchstat-compatible: run it on two checkouts with

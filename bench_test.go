@@ -267,7 +267,7 @@ func BenchmarkAblation_PoisonAnalysis(b *testing.B) {
 
 // Cache model throughput (the innermost simulator primitive).
 func BenchmarkAblation_CacheAccess(b *testing.B) {
-	c := cache.New(cache.DefaultConfig())
+	c := cache.MustNew(cache.DefaultConfig())
 	var lat uint64
 	for i := 0; i < b.N; i++ {
 		l, _ := c.Access(uint64(i*64) & (1<<20 - 1))

@@ -22,6 +22,20 @@
 //	                                        simulated cycles exceed the
 //	                                        baseline's
 //
+// The fault-tolerance layer is exercised with the injection flags:
+//
+//	gbbench -exp fig4 -inject-translation-rate 0.2 -inject-seed 7 \
+//	        -retries 3 -retry-backoff 10ms -tolerate-faults
+//
+// injects deterministic, seeded translation failures into every run;
+// the harness retries faulted cells with a reseeded injector and
+// renders cells that stay faulted as "n/a" instead of failing the
+// sweep. All injection is off by default.
+//
+// Exit codes: 1 for host/benchmark errors, 2 for usage errors, 3 when
+// the matrix died on a guest trap (the trap kind, guest PC and cycle
+// are printed to stderr).
+//
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (go tool pprof), for hunting host-side performance problems.
 package main
@@ -39,8 +53,13 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/harness"
 	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/trap"
 	"ghostbusters/internal/vliw"
 )
+
+// exitGuestTrap is the exit code when an experiment fails on a guest
+// trap, distinct from host errors (1) and usage errors (2).
+const exitGuestTrap = 3
 
 func main() {
 	exp := flag.String("exp", "fig4", "experiment: fig4 | poc | ptrmm | kernel")
@@ -54,6 +73,13 @@ func main() {
 	checkperf := flag.String("checkperf", "", "fail on simulated-cycle regressions vs this perf JSON baseline")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	retries := flag.Int("retries", 0, "retry attempts per benchmark run after a transient (injected) fault")
+	retryBackoff := flag.Duration("retry-backoff", 0, "pause before each retry, scaled linearly by attempt")
+	tolerateFaults := flag.Bool("tolerate-faults", false, "render persistently faulted cells as n/a instead of failing the sweep")
+	injectSeed := flag.Uint64("inject-seed", 0, "fault-injection PRNG seed")
+	injectTrans := flag.Float64("inject-translation-rate", 0, "probability a translation attempt is forced to fail (0..1)")
+	injectCache := flag.Float64("inject-cache-rate", 0, "probability an architectural access raises a transient cache fault (0..1)")
+	injectIntr := flag.Float64("inject-interrupt-rate", 0, "probability per poll window of an injected spurious interrupt (0..1)")
 	flag.Parse()
 
 	if *n < 0 {
@@ -64,6 +90,21 @@ func main() {
 	}
 	if *timeout < 0 {
 		usageError("gbbench: -timeout must be >= 0, got %v", *timeout)
+	}
+	if *retries < 0 {
+		usageError("gbbench: -retries must be >= 0, got %d", *retries)
+	}
+	for _, r := range []struct {
+		name string
+		val  float64
+	}{
+		{"-inject-translation-rate", *injectTrans},
+		{"-inject-cache-rate", *injectCache},
+		{"-inject-interrupt-rate", *injectIntr},
+	} {
+		if r.val < 0 || r.val > 1 {
+			usageError("gbbench: %s must be in [0, 1], got %v", r.name, r.val)
+		}
 	}
 
 	startProfiles(*cpuprofile, *memprofile)
@@ -81,10 +122,22 @@ func main() {
 		usageError("gbbench: unsupported width %d", *width)
 	}
 
+	if *injectTrans > 0 || *injectCache > 0 || *injectIntr > 0 {
+		base.FaultInject = &dbt.FaultInject{
+			Seed:                   *injectSeed,
+			TranslationFailureRate: *injectTrans,
+			CacheFaultRate:         *injectCache,
+			SpuriousInterruptRate:  *injectIntr,
+		}
+	}
+
 	runner := &harness.Runner{
-		Workers:   *jobs,
-		Timeout:   *timeout,
-		Artifacts: harness.NewArtifacts(),
+		Workers:        *jobs,
+		Timeout:        *timeout,
+		Artifacts:      harness.NewArtifacts(),
+		Retries:        *retries,
+		Backoff:        *retryBackoff,
+		TolerateFaults: *tolerateFaults,
 	}
 	ctx := context.Background()
 
@@ -174,13 +227,21 @@ func usageError(format string, args ...any) {
 }
 
 // fail flushes any in-flight profiles before exiting: os.Exit skips
-// deferred calls, and a truncated CPU profile is worse than none.
+// deferred calls, and a truncated CPU profile is worse than none. A
+// guest trap in the error chain gets structured diagnostics and its own
+// exit code.
 func fail(err error) {
-	if err != nil {
-		flushProfiles()
-		fmt.Fprintln(os.Stderr, "gbbench:", err)
-		os.Exit(1)
+	if err == nil {
+		return
 	}
+	flushProfiles()
+	fmt.Fprintln(os.Stderr, "gbbench:", err)
+	if f := trap.As(err); f != nil {
+		fmt.Fprintf(os.Stderr, "gbbench: guest trap: kind=%s pc=%#x addr=%#x cycle=%d\n",
+			f.Kind, f.PC, f.Addr, f.Cycle)
+		os.Exit(exitGuestTrap)
+	}
+	os.Exit(1)
 }
 
 var (

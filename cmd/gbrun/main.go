@@ -4,9 +4,17 @@
 //	gbrun [-mode unsafe|ghostbusters|fence|nospec] [-width 2|4|8]
 //	      [-interp] [-stats] program.s
 //
-// The exit status is the guest's exit code. -cpuprofile and -memprofile
-// write pprof profiles of the simulator itself (host-side performance,
-// not guest cycles).
+// The exit status is the guest's exit code when the guest runs to
+// completion. Failures use distinct codes:
+//
+//	1  host-side error (unreadable file, assembly error, bad config)
+//	2  usage error
+//	3  guest trap (illegal instruction, wild jump, out-of-range access,
+//	   cycle-budget exhaustion, ...) — the trap kind, guest PC, faulting
+//	   address and cycle count are printed to stderr
+//
+// -cpuprofile and -memprofile write pprof profiles of the simulator
+// itself (host-side performance, not guest cycles).
 package main
 
 import (
@@ -19,6 +27,10 @@ import (
 	"ghostbusters"
 	"ghostbusters/internal/vliw"
 )
+
+// exitGuestTrap is the exit code for a structured guest trap, distinct
+// from host errors (1) and usage errors (2).
+const exitGuestTrap = 3
 
 func main() {
 	mode := flag.String("mode", "unsafe", "mitigation: unsafe | ghostbusters | fence | nospec")
@@ -64,7 +76,20 @@ func main() {
 	fail(err)
 	fail(machine.Load(prog))
 	res, err := machine.Run()
-	fail(err)
+	if err != nil {
+		flushProfiles()
+		if f := ghostbusters.AsFault(err); f != nil {
+			fmt.Fprintf(os.Stderr, "gbrun: guest trap: %s\n", f.Kind)
+			fmt.Fprintf(os.Stderr, "gbrun:   %s\n", f.Detail)
+			fmt.Fprintf(os.Stderr, "gbrun:   pc=%#x addr=%#x cycle=%d\n", f.PC, f.Addr, f.Cycle)
+			if f.Block != 0 {
+				fmt.Fprintf(os.Stderr, "gbrun:   in translated region @%#x\n", f.Block)
+			}
+			os.Exit(exitGuestTrap)
+		}
+		fmt.Fprintln(os.Stderr, "gbrun:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("exit=%d cycles=%d instret=%d\n", res.Exit.Code, res.Cycles, res.Instret)
 	if *profile {
@@ -89,6 +114,7 @@ func main() {
 			s.SpecLoads, s.SpecSquash, s.Recoveries, s.SideExits)
 		fmt.Printf("patterns=%d risky-loads=%d guard-edges=%d compile-errors=%d\n",
 			s.PatternsFound, s.RiskyLoads, s.GuardEdges, s.CompileErrs)
+		fmt.Printf("traps=%s\n", s.Traps.String())
 	}
 	// os.Exit skips deferred calls, so profiles are flushed explicitly
 	// before propagating the guest's exit code.

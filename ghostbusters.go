@@ -36,6 +36,7 @@ import (
 	"ghostbusters/internal/harness"
 	"ghostbusters/internal/polybench"
 	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/trap"
 	"ghostbusters/internal/vliw"
 )
 
@@ -92,6 +93,25 @@ func NewMachine(cfg Config) (*Machine, error) { return dbt.New(cfg) }
 
 // Result reports a finished guest run.
 type Result = dbt.Result
+
+// Fault is a structured guest trap: the typed error every guest-facing
+// failure path of the simulator returns instead of panicking. It
+// carries the trap kind, guest PC, faulting address, cycle count and —
+// for faults inside translated code — the translated region's entry PC.
+type Fault = trap.Fault
+
+// TrapKind classifies a Fault (illegal-instruction, misaligned-access,
+// out-of-range-access, invalid-branch-target, translation-failure,
+// cycle-budget-exceeded, ...).
+type TrapKind = trap.Kind
+
+// AsFault extracts the *Fault from an error chain (nil when the error
+// is not a guest trap — e.g. a host-side assembly or I/O failure).
+func AsFault(err error) *Fault { return trap.As(err) }
+
+// FaultInject configures the deterministic fault-injection layer; set
+// Config.FaultInject to enable it.
+type FaultInject = dbt.FaultInject
 
 // Stats aggregates machine counters (speculation, recoveries, detected
 // Spectre patterns, ...).

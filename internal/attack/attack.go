@@ -142,7 +142,10 @@ func Run(v Variant, cfg dbt.Config, params Params) (*Result, error) {
 		return nil, err
 	}
 	if p.ProtectSecret {
-		sec := prog.MustSymbol("secret")
+		sec, ok := prog.Symbol("secret")
+		if !ok {
+			return nil, fmt.Errorf("attack: %s guest defines no secret symbol", v)
+		}
 		m.Mem().Protect(sec, sec+uint64(len(p.Secret)))
 	}
 	res, err := m.Run()
@@ -152,7 +155,10 @@ func Run(v Variant, cfg dbt.Config, params Params) (*Result, error) {
 	if res.Exit.Code != 0 {
 		return nil, fmt.Errorf("attack: %s guest exited with %d", v, res.Exit.Code)
 	}
-	recAddr := prog.MustSymbol("recovered")
+	recAddr, ok := prog.Symbol("recovered")
+	if !ok {
+		return nil, fmt.Errorf("attack: %s guest defines no recovered symbol", v)
+	}
 	rec, err := m.Mem().ReadBytes(recAddr, len(p.Secret))
 	if err != nil {
 		return nil, err

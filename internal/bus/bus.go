@@ -24,11 +24,32 @@ type Bus struct {
 	// self-modifying guest code invalidates stale decoded entries; the
 	// hook must be cheap (it runs on the store hot path).
 	OnStore func(addr uint64, size int)
+
+	// OnAccess, when non-nil, is consulted before every architectural
+	// load and store; a non-nil error aborts the access with that fault.
+	// The DBT machine wires its deterministic fault injector here to
+	// model transient cache-lookup failures. Speculative loads bypass
+	// the hook: an injected fault there would just be squashed anyway.
+	OnAccess func(addr uint64, size int, store bool) error
 }
 
-// New builds a Bus over mem with a cache configured by cfg.
-func New(mem *guestmem.Memory, cfg cache.Config) *Bus {
-	return &Bus{Mem: mem, DC: cache.New(cfg)}
+// New builds a Bus over mem with a cache configured by cfg, rejecting
+// invalid cache geometry with an error.
+func New(mem *guestmem.Memory, cfg cache.Config) (*Bus, error) {
+	dc, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Bus{Mem: mem, DC: dc}, nil
+}
+
+// MustNew is New for configurations known valid (tests, benchmarks).
+func MustNew(mem *guestmem.Memory, cfg cache.Config) *Bus {
+	b, err := New(mem, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // Fetch reads an instruction word. Instruction fetch is not timed through
@@ -40,6 +61,11 @@ func (b *Bus) Fetch(addr uint64) (uint32, error) {
 // Load performs an architectural load: protection is enforced, the cache
 // is filled, and the latency is returned.
 func (b *Bus) Load(addr uint64, size int) (uint64, uint64, error) {
+	if b.OnAccess != nil {
+		if err := b.OnAccess(addr, size, false); err != nil {
+			return 0, 0, err
+		}
+	}
 	v, err := b.Mem.Read(addr, size)
 	if err != nil {
 		return 0, 0, err
@@ -63,6 +89,11 @@ func (b *Bus) LoadSpeculative(addr uint64, size int) (val uint64, lat uint64, ok
 
 // Store performs an architectural store (write-allocate).
 func (b *Bus) Store(addr uint64, size int, val uint64) (uint64, error) {
+	if b.OnAccess != nil {
+		if err := b.OnAccess(addr, size, true); err != nil {
+			return 0, err
+		}
+	}
 	if err := b.Mem.Write(addr, size, val); err != nil {
 		return 0, err
 	}

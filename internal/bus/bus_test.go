@@ -8,7 +8,7 @@ import (
 )
 
 func newBus() *Bus {
-	return New(guestmem.New(0x1000, 1<<16), cache.DefaultConfig())
+	return MustNew(guestmem.New(0x1000, 1<<16), cache.DefaultConfig())
 }
 
 func TestLoadStoreTiming(t *testing.T) {

@@ -65,13 +65,22 @@ type Cache struct {
 	stats Stats
 }
 
-// New builds a cache from cfg; it panics on an invalid configuration
-// (construction-time programming error, not a runtime condition).
-func New(cfg Config) *Cache {
+// New builds a cache from cfg, rejecting invalid configurations with an
+// error (the simulator core never panics; see internal/trap).
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{cfg: cfg, lines: make([]line, cfg.Sets*cfg.Ways)}, nil
+}
+
+// MustNew is New for configurations known valid (tests, benchmarks).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
 		panic(err)
 	}
-	return &Cache{cfg: cfg, lines: make([]line, cfg.Sets*cfg.Ways)}
+	return c
 }
 
 // Config returns the cache geometry.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestHitMissLatency(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	lat, hit := c.Access(0x1000)
 	if hit || lat != 23 {
 		t.Fatalf("first access: lat=%d hit=%v, want 23 false", lat, hit)
@@ -27,7 +27,7 @@ func TestHitMissLatency(t *testing.T) {
 }
 
 func TestFlushLine(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	c.Access(0x2000)
 	if !c.Probe(0x2000) {
 		t.Fatal("line should be present")
@@ -42,7 +42,7 @@ func TestFlushLine(t *testing.T) {
 }
 
 func TestFlushAll(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	for i := uint64(0); i < 32; i++ {
 		c.Access(i * 64)
 	}
@@ -57,7 +57,7 @@ func TestFlushAll(t *testing.T) {
 // Flushes counts invalidated lines under both flush strategies: N valid
 // lines cost N flush counts whether removed one by one or all at once.
 func TestFlushCountsInvalidatedLines(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	for i := uint64(0); i < 5; i++ {
 		c.Access(i * 64)
 	}
@@ -89,7 +89,7 @@ func TestFlushCountsInvalidatedLines(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	cfg := Config{Sets: 1, Ways: 2, LineSize: 64, HitLatency: 1, MissPenalty: 10}
-	c := New(cfg)
+	c := MustNew(cfg)
 	c.Access(0 * 64) // A
 	c.Access(1 * 64) // B
 	c.Access(0 * 64) // touch A -> B is LRU
@@ -107,7 +107,7 @@ func TestLRUEviction(t *testing.T) {
 
 func TestSetIndexing(t *testing.T) {
 	cfg := Config{Sets: 4, Ways: 1, LineSize: 64, HitLatency: 1, MissPenalty: 10}
-	c := New(cfg)
+	c := MustNew(cfg)
 	// Addresses in different sets don't evict each other.
 	c.Access(0 * 64)
 	c.Access(1 * 64)
@@ -126,7 +126,7 @@ func TestSetIndexing(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	c.Access(0)
 	c.Access(0)
 	c.Access(64)
@@ -158,7 +158,7 @@ func TestConfigValidate(t *testing.T) {
 // Property: immediately after Access(a), Probe(a) is true; and any
 // address in the same line probes identically.
 func TestAccessThenProbe(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	f := func(a uint64, off uint8) bool {
 		a &= 1<<30 - 1
 		c.Access(a)
@@ -173,7 +173,7 @@ func TestAccessThenProbe(t *testing.T) {
 // Property: the cache never holds more than Ways lines per set.
 func TestCapacityInvariant(t *testing.T) {
 	cfg := Config{Sets: 8, Ways: 2, LineSize: 64, HitLatency: 1, MissPenalty: 5}
-	c := New(cfg)
+	c := MustNew(cfg)
 	r := rand.New(rand.NewSource(5))
 	addrs := make([]uint64, 0, 4096)
 	for i := 0; i < 4096; i++ {
@@ -200,20 +200,23 @@ func TestCapacityInvariant(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnBadConfig(t *testing.T) {
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{Sets: 3, Ways: 1, LineSize: 64}); err == nil {
+		t.Fatal("New with bad config must return an error")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("New with bad config must panic")
+			t.Fatal("MustNew with bad config must panic")
 		}
 	}()
-	New(Config{Sets: 3, Ways: 1, LineSize: 64})
+	MustNew(Config{Sets: 3, Ways: 1, LineSize: 64})
 }
 
 // The timed lookup is the innermost primitive of the simulator: it must
 // never allocate, hit or miss, so the flat line array stays the only
 // storage the cache ever touches after New.
 func TestAccessZeroAllocs(t *testing.T) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	var addr uint64
 	allocs := testing.AllocsPerRun(1000, func() {
 		addr += 64
@@ -228,7 +231,7 @@ func TestAccessZeroAllocs(t *testing.T) {
 }
 
 func BenchmarkAccess(b *testing.B) {
-	c := New(DefaultConfig())
+	c := MustNew(DefaultConfig())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -32,10 +32,27 @@ func DefaultHierarchyConfig() HierarchyConfig {
 	}
 }
 
-// NewHierarchy builds a two-level cache; it panics on an invalid
-// configuration (construction-time programming error).
-func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
-	return &Hierarchy{L1: New(cfg.L1), L2: New(cfg.L2)}
+// NewHierarchy builds a two-level cache, rejecting invalid
+// configurations with an error.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	l1, err := New(cfg.L1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1: l1, L2: l2}, nil
+}
+
+// MustNewHierarchy is NewHierarchy for configurations known valid.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Access models a load or store through both levels and returns the

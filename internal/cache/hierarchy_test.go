@@ -3,7 +3,7 @@ package cache
 import "testing"
 
 func TestHierarchyThreeTimingLevels(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchyConfig())
+	h := MustNewHierarchy(DefaultHierarchyConfig())
 	// Cold: memory access through both levels.
 	lat, level := h.Access(0x4000)
 	if level != 0 {
@@ -27,7 +27,7 @@ func TestHierarchyThreeTimingLevels(t *testing.T) {
 }
 
 func TestHierarchyProbe(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchyConfig())
+	h := MustNewHierarchy(DefaultHierarchyConfig())
 	if h.Probe(0x100) != 0 {
 		t.Fatal("empty hierarchy probes nonzero")
 	}
@@ -46,7 +46,7 @@ func TestHierarchyProbe(t *testing.T) {
 }
 
 func TestHierarchyFlushAll(t *testing.T) {
-	h := NewHierarchy(DefaultHierarchyConfig())
+	h := MustNewHierarchy(DefaultHierarchyConfig())
 	for i := uint64(0); i < 16; i++ {
 		h.Access(i * 64)
 	}
@@ -63,7 +63,7 @@ func TestHierarchyL1EvictionFallsToL2(t *testing.T) {
 		L1: Config{Sets: 1, Ways: 1, LineSize: 64, HitLatency: 1, MissPenalty: 0},
 		L2: Config{Sets: 64, Ways: 4, LineSize: 64, HitLatency: 5, MissPenalty: 20},
 	}
-	h := NewHierarchy(cfg)
+	h := MustNewHierarchy(cfg)
 	h.Access(0)  // fills L1+L2
 	h.Access(64) // evicts 0 from the 1-entry L1, L2 keeps both
 	if h.Probe(0) != 2 {

@@ -1,0 +1,102 @@
+package dbt
+
+import "ghostbusters/internal/trap"
+
+// FaultInject configures the deterministic fault-injection layer: a
+// seeded PRNG decides, at each injection point, whether to force a
+// fault. Rates are probabilities in [0, 1]. The zero value (or a nil
+// *FaultInject in Config) injects nothing.
+//
+// Injection is deterministic: the same seed, guest and configuration
+// produce the same faults at the same cycle. Retrying with a different
+// seed (what harness.Runner does on transient faults) reshuffles them.
+type FaultInject struct {
+	Seed uint64
+
+	// TranslationFailureRate forces translation attempts to fail. The
+	// machine degrades gracefully: the region stays interpreted (for
+	// this attempt — unlike a real translation failure the region is
+	// not blacklisted, so a later hot-threshold crossing retries).
+	TranslationFailureRate float64
+
+	// CacheFaultRate makes architectural loads/stores fail with a
+	// transient CacheFault trap (a flipped tag bit, a timed-out lookup).
+	CacheFaultRate float64
+
+	// SpuriousInterruptRate raises a SpuriousInterrupt trap from the
+	// dispatch loop's interrupt poll (one chance per poll window, i.e.
+	// per interruptPollEvery dispatch iterations).
+	SpuriousInterruptRate float64
+}
+
+// enabled reports whether any injection point is active.
+func (fi *FaultInject) enabled() bool {
+	return fi != nil && (fi.TranslationFailureRate > 0 || fi.CacheFaultRate > 0 || fi.SpuriousInterruptRate > 0)
+}
+
+// injector is the per-machine instantiation of a FaultInject config:
+// the config stays immutable (it is part of Config and may be shared);
+// the PRNG state lives here.
+type injector struct {
+	cfg   FaultInject
+	state uint64
+}
+
+func newInjector(cfg FaultInject) *injector {
+	// splitmix64 handles seed 0 fine, but mix the seed once so that
+	// Seed and Seed+1 (the harness retry bump) diverge immediately.
+	inj := &injector{cfg: cfg, state: cfg.Seed}
+	inj.next()
+	return inj
+}
+
+// next advances the splitmix64 PRNG — deterministic, allocation-free,
+// and independent of math/rand's global state.
+func (in *injector) next() uint64 {
+	in.state += 0x9E3779B97F4A7C15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fire draws one decision at probability p.
+func (in *injector) fire(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	// 53 uniform bits, the float64 mantissa width.
+	return float64(in.next()>>11)/(1<<53) < p
+}
+
+func (in *injector) translationFailure() bool {
+	return in != nil && in.fire(in.cfg.TranslationFailureRate)
+}
+
+func (in *injector) spuriousInterrupt() bool {
+	return in != nil && in.fire(in.cfg.SpuriousInterruptRate)
+}
+
+// busHook returns the bus.OnAccess hook modelling transient cache
+// faults, or nil when that injection point is off.
+func (in *injector) busHook(m *Machine) func(addr uint64, size int, store bool) error {
+	if in == nil || in.cfg.CacheFaultRate <= 0 {
+		return nil
+	}
+	return func(addr uint64, size int, store bool) error {
+		if !in.fire(in.cfg.CacheFaultRate) {
+			return nil
+		}
+		op := "load"
+		if store {
+			op = "store"
+		}
+		f := trap.Newf(trap.CacheFault, "injected cache fault on %s (size %d)", op, size)
+		f.Addr = addr
+		f.Injected = true
+		return f
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/guestmem"
 	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/trap"
 	"ghostbusters/internal/vliw"
 )
 
@@ -63,8 +64,21 @@ type Config struct {
 	// is identical either way, and the differential tests assert it.
 	DisablePredecode bool
 
-	// MaxCycles aborts runaway guests. 0 means no limit.
+	// MaxCycles aborts runaway guests. 0 means no limit. Exhaustion is a
+	// CycleBudgetExceeded trap carrying the PC and cycle count.
 	MaxCycles uint64
+
+	// StrictAlign makes architectural data accesses fault on natural-
+	// alignment violations (MisalignedAccess). Off by default: the
+	// paper's machines handle unaligned data accesses in hardware, and
+	// its Spectre v4 guest performs one. Instruction fetch is always
+	// 4-byte aligned regardless.
+	StrictAlign bool
+
+	// FaultInject, when non-nil, enables the deterministic fault-
+	// injection layer (see FaultInject). Injected faults are marked
+	// Transient so harness retries can distinguish them from real ones.
+	FaultInject *FaultInject
 
 	// Interrupt, when non-nil, is polled by the dispatch loop; once the
 	// channel is closed (or receives), Run aborts with ErrInterrupted.
@@ -128,6 +142,11 @@ type Stats struct {
 	PatternsFound   int
 	RiskyLoads      int
 	GuardEdges      int
+
+	// Traps counts every fault raised during the run by kind — both
+	// survivable ones (injected translation failures the machine rode
+	// out by staying in the interpreter) and the terminal one, if any.
+	Traps trap.Counts
 }
 
 // Result reports a finished guest run.
@@ -173,6 +192,8 @@ type Machine struct {
 	trans    map[uint64]*transEntry
 	noTrans  map[uint64]struct{}
 
+	inj *injector
+
 	stats Stats
 }
 
@@ -191,15 +212,28 @@ func New(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("dbt: BiasThreshold %v out of (0.5, 1]", cfg.BiasThreshold)
 	}
 	mem := guestmem.NewPooled(cfg.MemBase, cfg.MemSize)
+	mem.StrictAlign = cfg.StrictAlign
+	b, err := bus.New(mem, cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	c, err := vliw.NewCore(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
 	m := &Machine{
 		cfg:      cfg,
 		mem:      mem,
-		b:        bus.New(mem, cfg.Cache),
-		core:     vliw.NewCore(cfg.Core),
+		b:        b,
+		core:     c,
 		entries:  make(map[uint64]uint64),
 		branches: make(map[uint64]*brStat),
 		trans:    make(map[uint64]*transEntry),
 		noTrans:  make(map[uint64]struct{}),
+	}
+	if cfg.FaultInject.enabled() {
+		m.inj = newInjector(*cfg.FaultInject)
+		m.b.OnAccess = m.inj.busHook(m)
 	}
 	return m, nil
 }
@@ -301,7 +335,31 @@ func (m *Machine) translateAt(pc uint64, asTrace bool) {
 	m.translateWith(pc, asTrace, false)
 }
 
+// transFail records a failed translation attempt at pc as a
+// TranslationFailure trap and degrades to interpretation. Real failures
+// blacklist the entry point (the region stays interpreted for good);
+// injected ones are transient, so the entry stays eligible and a later
+// hot-threshold crossing retries the translation.
+func (m *Machine) transFail(pc uint64, injected bool, cause error) {
+	f := trap.Newf(trap.TranslationFailure, "translation of region %#x failed", pc)
+	if cause != nil {
+		f.Detail += ": " + cause.Error()
+	}
+	f.PC = pc
+	f.Block = pc
+	f.Cycle = m.cycles
+	f.Injected = injected
+	m.stats.Traps.Record(f.Kind)
+	if !injected {
+		m.noTrans[pc] = struct{}{}
+	}
+}
+
 func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
+	if m.inj.translationFailure() {
+		m.transFail(pc, true, nil)
+		return
+	}
 	lim := translateLimits{MaxInsts: m.cfg.MaxTraceInsts, MaxUnroll: m.cfg.MaxUnroll}
 	var orc branchOracle
 	if asTrace {
@@ -311,14 +369,14 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 	}
 	irBlk, guestInsts, err := translate(m.b, pc, orc, lim)
 	if err != nil {
-		m.noTrans[pc] = struct{}{}
+		m.transFail(pc, false, err)
 		return
 	}
 	opts := compileOpts{DisableMemSpec: noMemSpec}
 	res, err := compileWith(irBlk, guestInsts, &m.cfg.Core, m.cfg.Mitigation, opts)
 	if err != nil {
 		m.stats.CompileErrs++
-		m.noTrans[pc] = struct{}{}
+		m.transFail(pc, false, err)
 		return
 	}
 	blk := res.Block
@@ -326,13 +384,13 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		data, err := vliw.EncodeBlock(blk)
 		if err != nil {
 			m.stats.CompileErrs++
-			m.noTrans[pc] = struct{}{}
+			m.transFail(pc, false, err)
 			return
 		}
 		decoded, err := vliw.DecodeBlock(data)
 		if err != nil {
 			m.stats.CompileErrs++
-			m.noTrans[pc] = struct{}{}
+			m.transFail(pc, false, err)
 			return
 		}
 		blk = decoded // execute the decoded form: the encoding is live
@@ -362,22 +420,48 @@ var ErrInterrupted = errors.New("run interrupted")
 // not pay a per-instruction channel operation.
 const interruptPollEvery = 256
 
+// raise finalises a terminal fault: the machine-level context (cycle
+// count, and the PC when the lower layer could not know it) is filled
+// in, the trap is counted, and the enriched fault is returned for Run
+// to surface.
+func (m *Machine) raise(f *trap.Fault, pc uint64) *trap.Fault {
+	if f.PC == 0 {
+		f.PC = pc
+	}
+	if f.Cycle == 0 {
+		f.Cycle = m.cycles
+	}
+	m.stats.Traps.Record(f.Kind)
+	return f
+}
+
 // Run executes the loaded guest until it exits (ecall/ebreak), faults,
-// exceeds the cycle budget, or is interrupted.
+// exceeds the cycle budget, or is interrupted. Guest-triggered failures
+// come back as a *trap.Fault (errors.As-compatible) carrying the guest
+// PC, cycle count and — for faults inside translated code — the entry
+// PC of the translated region.
 func (m *Machine) Run() (*Result, error) {
 	m.onEnter(m.state.PC)
 	poll := 0
 	for {
 		if m.cfg.MaxCycles != 0 && m.cycles > m.cfg.MaxCycles {
-			return nil, fmt.Errorf("dbt: cycle budget exceeded (%d)", m.cfg.MaxCycles)
+			f := trap.Newf(trap.CycleBudgetExceeded, "cycle budget exceeded (max %d)", m.cfg.MaxCycles)
+			return nil, m.raise(f, m.state.PC)
 		}
-		if m.cfg.Interrupt != nil {
+		if m.cfg.Interrupt != nil || m.inj != nil {
 			if poll++; poll >= interruptPollEvery {
 				poll = 0
-				select {
-				case <-m.cfg.Interrupt:
-					return nil, fmt.Errorf("dbt: %w at cycle %d", ErrInterrupted, m.cycles)
-				default:
+				if m.cfg.Interrupt != nil {
+					select {
+					case <-m.cfg.Interrupt:
+						return nil, fmt.Errorf("dbt: %w at cycle %d", ErrInterrupted, m.cycles)
+					default:
+					}
+				}
+				if m.inj.spuriousInterrupt() {
+					f := trap.Newf(trap.SpuriousInterrupt, "injected spurious interrupt")
+					f.Injected = true
+					return nil, m.raise(f, m.state.PC)
 				}
 			}
 		}
@@ -398,7 +482,9 @@ func (m *Machine) Run() (*Result, error) {
 			m.state.X[0] = 0
 			m.stats.BlockExecs++
 			if ei.Fault != nil {
-				return nil, fmt.Errorf("dbt: fault at guest pc %#x: %w", ei.FaultPC, ei.Fault)
+				f := ei.Fault
+				f.Block = pc
+				return nil, m.raise(f, ei.FaultPC)
 			}
 			e.execs++
 			e.recov += m.core.Stats.Recoveries - recovBefore
@@ -423,7 +509,7 @@ func (m *Machine) Run() (*Result, error) {
 		case riscv.EvExit, riscv.EvBreak:
 			return m.result(res.Event), nil
 		case riscv.EvFault:
-			return nil, fmt.Errorf("dbt: fault at guest pc %#x: %w", res.Event.Addr, res.Event.Err)
+			return nil, m.raise(trap.From(res.Event.Err), res.Event.Addr)
 		}
 		if res.IsBranch {
 			if m.cfg.Trace != nil && res.Taken {

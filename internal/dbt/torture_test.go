@@ -194,8 +194,8 @@ func TestSchedulerTorture(t *testing.T) {
 			}
 			mem := guestmem.New(tortureMemBase, tortureMemSize)
 			_ = mem.WriteBytes(tortureMemBase, initMem)
-			b := bus.New(mem, cache.DefaultConfig())
-			cpu := vliw.NewCore(coreCfg)
+			b := bus.MustNew(mem, cache.DefaultConfig())
+			cpu := vliw.MustNewCore(coreCfg)
 			var regs [vliw.NumRegs]uint64
 			copy(regs[:32], initRegs[:])
 			var cycles uint64

@@ -37,23 +37,25 @@ func defaultLimits() translateLimits { return translateLimits{MaxInsts: 48, MaxU
 // interpreter (blocks starting with ecall/ebreak or unfetchable code).
 var errUntranslatable = fmt.Errorf("dbt: untranslatable block")
 
-// invertBranch returns the branch op testing the opposite condition.
-func invertBranch(op riscv.Op) riscv.Op {
+// invertBranch returns the branch op testing the opposite condition,
+// or ok=false for a non-branch op (the caller treats that as an
+// untranslatable region rather than crashing the host).
+func invertBranch(op riscv.Op) (riscv.Op, bool) {
 	switch op {
 	case riscv.BEQ:
-		return riscv.BNE
+		return riscv.BNE, true
 	case riscv.BNE:
-		return riscv.BEQ
+		return riscv.BEQ, true
 	case riscv.BLT:
-		return riscv.BGE
+		return riscv.BGE, true
 	case riscv.BGE:
-		return riscv.BLT
+		return riscv.BLT, true
 	case riscv.BLTU:
-		return riscv.BGEU
+		return riscv.BGEU, true
 	case riscv.BGEU:
-		return riscv.BLTU
+		return riscv.BLTU, true
 	}
-	panic("dbt: not a branch op")
+	return op, false
 }
 
 // translate decodes guest code starting at entry into one IR block.
@@ -120,7 +122,11 @@ func translate(f fetcher, entry uint64, oracle branchOracle, lim translateLimits
 					if taken {
 						// Hot path is the taken side: invert so that the
 						// in-trace direction is fall-through.
-						op = invertBranch(op)
+						inv, ok := invertBranch(op)
+						if !ok {
+							return nil, 0, fmt.Errorf("%w: cannot invert %s at %#x", errUntranslatable, op, pc)
+						}
+						op = inv
 						exit = fall
 						next = target
 					}

@@ -17,7 +17,7 @@ func fetchFor(t *testing.T, src string) (*bus.Bus, *riscv.Program) {
 	t.Helper()
 	p := riscv.MustAssemble(src)
 	mem := guestmem.New(0x10000, 1<<20)
-	b := bus.New(mem, cache.DefaultConfig())
+	b := bus.MustNew(mem, cache.DefaultConfig())
 	for i, w := range p.Text {
 		if err := mem.Write(p.TextBase+uint64(4*i), 4, uint64(w)); err != nil {
 			t.Fatal(err)
@@ -254,16 +254,14 @@ func TestInvertBranchTotal(t *testing.T) {
 		riscv.BLTU: riscv.BGEU, riscv.BGEU: riscv.BLTU,
 	}
 	for op, want := range pairs {
-		if got := invertBranch(op); got != want {
-			t.Errorf("invert(%s) = %s, want %s", op, got, want)
+		got, ok := invertBranch(op)
+		if !ok || got != want {
+			t.Errorf("invert(%s) = %s, %v, want %s", op, got, ok, want)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("invertBranch(ADD) must panic")
-		}
-	}()
-	invertBranch(riscv.ADD)
+	if _, ok := invertBranch(riscv.ADD); ok {
+		t.Error("invertBranch(ADD) must report ok=false")
+	}
 }
 
 // Scheduler-level checks on a compiled block.

@@ -7,8 +7,9 @@ package guestmem
 
 import (
 	"encoding/binary"
-	"fmt"
 	"sync"
+
+	"ghostbusters/internal/trap"
 )
 
 // pageShift is the dirty-tracking granularity: 4 KiB pages. Coarse enough
@@ -29,17 +30,22 @@ type Memory struct {
 	dirty []bool
 
 	protStart, protEnd uint64 // [start, end) read-protected when protEnd > protStart
+
+	// StrictAlign makes scalar data accesses trap on misalignment. The
+	// default (false) matches the paper's platforms, which handle
+	// unaligned data accesses in hardware — the Spectre v4 PoC relies on
+	// one. Instruction fetch is always strictly aligned (IALIGN=32).
+	StrictAlign bool
 }
 
-// ErrFault describes an invalid guest memory access.
-type ErrFault struct {
-	Addr uint64
-	Size int
-	Why  string
-}
-
-func (e *ErrFault) Error() string {
-	return fmt.Sprintf("guestmem: %s at %#x size %d", e.Why, e.Addr, e.Size)
+// fault builds a typed guest trap for an invalid access. Guest memory
+// knows only the kind and the address; the interpreter and the VLIW core
+// enrich the same fault with the guest PC, and the machine dispatch loop
+// with the cycle count and translated-block identity.
+func fault(kind trap.Kind, addr uint64, size int, why string) *trap.Fault {
+	f := trap.Newf(kind, "%s (size %d)", why, size)
+	f.Addr = addr
+	return f
 }
 
 // New allocates size bytes of guest memory based at base.
@@ -94,6 +100,7 @@ func (m *Memory) Reset() {
 		m.dirty[p] = false
 	}
 	m.protStart, m.protEnd = 0, 0
+	m.StrictAlign = false
 }
 
 // markDirty records that [addr, addr+size) was written. Bounds are
@@ -131,29 +138,39 @@ func (m *Memory) Protected(addr uint64, size int) bool {
 
 func (m *Memory) check(addr uint64, size int) error {
 	if addr < m.base || addr+uint64(size) > m.Top() || addr+uint64(size) < addr {
-		return &ErrFault{Addr: addr, Size: size, Why: "out-of-range access"}
+		return fault(trap.OutOfRangeAccess, addr, size, "access outside guest memory")
 	}
 	return nil
 }
 
+// checkScalar validates a scalar data access of size 1, 2, 4 or 8
+// bytes: in range always, and aligned to its own size when StrictAlign
+// is set.
+func (m *Memory) checkScalar(addr uint64, size int) error {
+	if m.StrictAlign && addr&uint64(size-1) != 0 {
+		return fault(trap.MisalignedAccess, addr, size, "misaligned scalar access")
+	}
+	return m.check(addr, size)
+}
+
 // Read returns size bytes at addr as a zero-extended little-endian value.
-// It enforces the protected region.
+// It enforces natural alignment and the protected region.
 func (m *Memory) Read(addr uint64, size int) (uint64, error) {
-	if err := m.check(addr, size); err != nil {
+	if err := m.checkScalar(addr, size); err != nil {
 		return 0, err
 	}
 	if m.Protected(addr, size) {
-		return 0, &ErrFault{Addr: addr, Size: size, Why: "read of protected region"}
+		return 0, fault(trap.ProtectedAccess, addr, size, "read of protected region")
 	}
 	return m.readRaw(addr, size), nil
 }
 
-// ReadSpeculative is the dismissable-load path: faults (range or
-// protection) are squashed and report ok=false with a zero value, exactly
-// like the VLIW ldd opcode. The caller still models the cache fill for
-// in-range addresses.
+// ReadSpeculative is the dismissable-load path: faults (range, alignment
+// or protection) are squashed and report ok=false with a zero value,
+// exactly like the VLIW ldd opcode. The caller still models the cache
+// fill for in-range addresses.
 func (m *Memory) ReadSpeculative(addr uint64, size int) (val uint64, ok bool) {
-	if m.check(addr, size) != nil {
+	if m.checkScalar(addr, size) != nil {
 		return 0, false
 	}
 	// Protected data CAN be read speculatively: that is the leak the
@@ -170,9 +187,10 @@ func (m *Memory) readRaw(addr uint64, size int) uint64 {
 	return v
 }
 
-// Write stores the low size bytes of val at addr.
+// Write stores the low size bytes of val at addr. Like Read, it
+// enforces natural alignment.
 func (m *Memory) Write(addr uint64, size int, val uint64) error {
-	if err := m.check(addr, size); err != nil {
+	if err := m.checkScalar(addr, size); err != nil {
 		return err
 	}
 	if size > 0 {
@@ -208,8 +226,13 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 }
 
 // ReadWord32 fetches a 32-bit instruction word (no protection check:
-// instruction fetch is not part of the modelled side channel).
+// instruction fetch is not part of the modelled side channel). A
+// misaligned or out-of-range fetch address always faults, regardless of
+// StrictAlign — instructions are 4-byte aligned on this machine.
 func (m *Memory) ReadWord32(addr uint64) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, fault(trap.MisalignedAccess, addr, 4, "misaligned instruction fetch")
+	}
 	if err := m.check(addr, 4); err != nil {
 		return 0, err
 	}

@@ -3,6 +3,8 @@ package guestmem
 import (
 	"testing"
 	"testing/quick"
+
+	"ghostbusters/internal/trap"
 )
 
 func TestReadWriteRoundTrip(t *testing.T) {
@@ -156,6 +158,59 @@ func TestReadWord32(t *testing.T) {
 	}
 	if _, err := m.ReadWord32(0x1040); err == nil {
 		t.Fatal("fetch past end should fault")
+	}
+}
+
+func TestStrictAlign(t *testing.T) {
+	m := New(0x1000, 0x100)
+	// Default: unaligned data accesses are handled in hardware.
+	if err := m.Write(0x1001, 8, 0x1122334455667788); err != nil {
+		t.Fatalf("unaligned write without StrictAlign faulted: %v", err)
+	}
+	if v, err := m.Read(0x1001, 8); err != nil || v != 0x1122334455667788 {
+		t.Fatalf("unaligned read without StrictAlign = %#x, %v", v, err)
+	}
+
+	m.StrictAlign = true
+	for _, c := range []struct {
+		addr uint64
+		size int
+	}{{0x1001, 2}, {0x1002, 4}, {0x1004, 8}} {
+		_, err := m.Read(c.addr, c.size)
+		f := trap.As(err)
+		if f == nil || f.Kind != trap.MisalignedAccess || f.Addr != c.addr {
+			t.Errorf("Read(%#x, %d) = %v, want misaligned-access at that addr", c.addr, c.size, err)
+		}
+		if err := m.Write(c.addr, c.size, 0); !trap.IsKind(err, trap.MisalignedAccess) {
+			t.Errorf("Write(%#x, %d) = %v, want misaligned-access", c.addr, c.size, err)
+		}
+		if _, ok := m.ReadSpeculative(c.addr, c.size); ok {
+			t.Errorf("speculative Read(%#x, %d) should squash under StrictAlign", c.addr, c.size)
+		}
+	}
+	// Aligned accesses and byte accesses are unaffected.
+	if _, err := m.Read(0x1008, 8); err != nil {
+		t.Errorf("aligned read faulted: %v", err)
+	}
+	if _, err := m.Read(0x1003, 1); err != nil {
+		t.Errorf("byte read faulted: %v", err)
+	}
+	// Reset clears the flag (pooled reuse must not leak strictness).
+	m.Reset()
+	if m.StrictAlign {
+		t.Error("Reset must clear StrictAlign")
+	}
+}
+
+func TestFetchAlwaysAligned(t *testing.T) {
+	m := New(0x1000, 64) // StrictAlign off: fetch is still strict
+	err := func() error { _, err := m.ReadWord32(0x1002); return err }()
+	f := trap.As(err)
+	if f == nil || f.Kind != trap.MisalignedAccess || f.Addr != 0x1002 {
+		t.Fatalf("misaligned fetch = %v, want misaligned-access at 0x1002", err)
+	}
+	if !trap.IsKind(func() error { _, err := m.ReadWord32(0x2000); return err }(), trap.OutOfRangeAccess) {
+		t.Fatal("out-of-range fetch should be out-of-range-access")
 	}
 }
 

@@ -23,15 +23,17 @@ type Artifact struct {
 	place []kbuild.Placement
 }
 
-// placeFor returns the placement of the named array; validateSpec has
-// already guaranteed it exists.
-func (art *Artifact) placeFor(name string) kbuild.Placement {
+// placeFor returns the placement of the named array. validateSpec
+// guarantees every declared output has one, but specs constructed by
+// hand can miss the invariant — that is a descriptive error propagated
+// through the run, not a crash.
+func (art *Artifact) placeFor(name string) (kbuild.Placement, error) {
 	for _, p := range art.place {
 		if p.Arr.Name == name {
-			return p
+			return p, nil
 		}
 	}
-	panic(fmt.Sprintf("harness: %s: no placement for %q", art.Spec.Name, name))
+	return kbuild.Placement{}, fmt.Errorf("harness: %s: no placement for %q", art.Spec.Name, name)
 }
 
 // BuildArtifact validates the spec, assembles its source and resolves

@@ -19,6 +19,7 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/kbuild"
 	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/trap"
 )
 
 // KernelRun is one kernel execution under one configuration.
@@ -78,7 +79,11 @@ func runArtifact(art *Artifact, cfg dbt.Config) (*KernelRun, error) {
 		return nil, fmt.Errorf("harness: %s: %d DBT compile errors", spec.Name, res.Stats.CompileErrs)
 	}
 	for _, out := range spec.Outputs {
-		got, err := art.placeFor(out).Read(m.Mem())
+		pl, err := art.placeFor(out)
+		if err != nil {
+			return nil, err
+		}
+		got, err := pl.Read(m.Mem())
 		if err != nil {
 			return nil, err
 		}
@@ -127,6 +132,11 @@ type Row struct {
 	Slowdown map[core.Mode]float64 // relative to ModeUnsafe; empty without the baseline
 	Stats    map[core.Mode]dbt.Stats
 	HostNS   map[core.Mode]int64 // host wall clock per run (perf layer; not rendered in tables)
+
+	// Faults holds the guest trap that killed a cell when the Runner ran
+	// with TolerateFaults; such cells have no Cycles/Stats entry and the
+	// renderers print "n/a" for them.
+	Faults map[core.Mode]*trap.Fault
 }
 
 func newRow(name string) *Row {
@@ -136,6 +146,7 @@ func newRow(name string) *Row {
 		Slowdown: map[core.Mode]float64{},
 		Stats:    map[core.Mode]dbt.Stats{},
 		HostNS:   map[core.Mode]int64{},
+		Faults:   map[core.Mode]*trap.Fault{},
 	}
 }
 
@@ -210,7 +221,11 @@ func FormatRows(rows []*Row, modes []core.Mode) string {
 		fmt.Fprintf(&sb, "%-12s", r.Name)
 		for _, m := range modes {
 			if m == core.ModeUnsafe {
-				fmt.Fprintf(&sb, " %11d cy", r.Cycles[m])
+				if c, ok := r.Cycles[m]; ok {
+					fmt.Fprintf(&sb, " %11d cy", c)
+				} else {
+					fmt.Fprintf(&sb, " %14s", "n/a")
+				}
 				continue
 			}
 			if s, ok := r.Slowdown[m]; ok {
@@ -274,13 +289,17 @@ func CSV(rows []*Row, modes []core.Mode) string {
 	sb.WriteString("benchmark,mode,cycles,slowdown,spec_loads,recoveries,patterns_found,risky_loads\n")
 	for _, r := range rows {
 		for _, m := range modes {
+			cyc := "n/a"
+			if c, ok := r.Cycles[m]; ok {
+				cyc = fmt.Sprintf("%d", c)
+			}
 			st := r.Stats[m]
 			slow := "n/a"
 			if s, ok := r.Slowdown[m]; ok {
 				slow = fmt.Sprintf("%.4f", s)
 			}
-			fmt.Fprintf(&sb, "%s,%s,%d,%s,%d,%d,%d,%d\n",
-				r.Name, m, r.Cycles[m], slow,
+			fmt.Fprintf(&sb, "%s,%s,%s,%s,%d,%d,%d,%d\n",
+				r.Name, m, cyc, slow,
 				st.SpecLoads, st.Recoveries, st.PatternsFound, st.RiskyLoads)
 		}
 	}

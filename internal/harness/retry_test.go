@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/trap"
+)
+
+// flakyBench fails its first failures calls with fault (per mode), then
+// succeeds. It also records the injection seed of every attempt.
+type flakyBench struct {
+	mu       sync.Mutex
+	failures int
+	fault    func() *trap.Fault
+	calls    map[core.Mode]int
+	seeds    []uint64
+}
+
+func (fb *flakyBench) bench(name string) Bench {
+	return Bench{
+		Name: name,
+		Run: func(_ context.Context, cfg dbt.Config, _ *Artifacts) (*KernelRun, error) {
+			fb.mu.Lock()
+			defer fb.mu.Unlock()
+			if fb.calls == nil {
+				fb.calls = map[core.Mode]int{}
+			}
+			fb.calls[cfg.Mitigation]++
+			if cfg.FaultInject != nil {
+				fb.seeds = append(fb.seeds, cfg.FaultInject.Seed)
+			}
+			if fb.calls[cfg.Mitigation] <= fb.failures {
+				return nil, fb.fault()
+			}
+			return &KernelRun{Name: name, Mode: cfg.Mitigation, Cycles: 1000}, nil
+		},
+	}
+}
+
+func transientFault() *trap.Fault {
+	f := trap.Newf(trap.CacheFault, "injected cache parity fault")
+	f.Injected = true
+	return f
+}
+
+func realFault() *trap.Fault {
+	return trap.Newf(trap.IllegalInstruction, "illegal instruction")
+}
+
+// TestRunnerRetriesTransientFaults: a cell that fails twice with an
+// injected fault succeeds on the third attempt when Retries >= 2, and
+// each retry runs with a reseeded injector.
+func TestRunnerRetriesTransientFaults(t *testing.T) {
+	fb := &flakyBench{failures: 2, fault: transientFault}
+	r := &Runner{Workers: 1, Retries: 2}
+	base := dbt.DefaultConfig()
+	base.FaultInject = &dbt.FaultInject{Seed: 5, CacheFaultRate: 0.5}
+
+	rows, err := r.RunMatrix(context.Background(), base, []Bench{fb.bench("flaky")}, []core.Mode{core.ModeUnsafe})
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	if got := fb.calls[core.ModeUnsafe]; got != 3 {
+		t.Fatalf("bench ran %d times, want 3 (1 + 2 retries)", got)
+	}
+	if want := []uint64{5, 6, 7}; len(fb.seeds) != 3 || fb.seeds[0] != want[0] || fb.seeds[1] != want[1] || fb.seeds[2] != want[2] {
+		t.Fatalf("injector seeds per attempt = %v, want %v", fb.seeds, want)
+	}
+	if rows[0].Cycles[core.ModeUnsafe] != 1000 {
+		t.Fatalf("recovered cell has wrong cycles: %d", rows[0].Cycles[core.ModeUnsafe])
+	}
+}
+
+// TestRunnerRetriesExhausted: when the transient fault outlives the
+// retry budget it surfaces as the matrix error (no TolerateFaults).
+func TestRunnerRetriesExhausted(t *testing.T) {
+	fb := &flakyBench{failures: 10, fault: transientFault}
+	r := &Runner{Workers: 1, Retries: 2}
+	_, err := r.RunMatrix(context.Background(), dbt.DefaultConfig(), []Bench{fb.bench("flaky")}, []core.Mode{core.ModeUnsafe})
+	if err == nil {
+		t.Fatal("expected the exhausted cell to fail the matrix")
+	}
+	if f := trap.As(err); f == nil || f.Kind != trap.CacheFault {
+		t.Fatalf("matrix error does not carry the guest trap: %v", err)
+	}
+	if got := fb.calls[core.ModeUnsafe]; got != 3 {
+		t.Fatalf("bench ran %d times, want 3", got)
+	}
+}
+
+// TestRunnerNeverRetriesRealFaults: deterministic guest faults are
+// properties of the guest, not bad luck — one attempt only.
+func TestRunnerNeverRetriesRealFaults(t *testing.T) {
+	fb := &flakyBench{failures: 10, fault: realFault}
+	r := &Runner{Workers: 1, Retries: 5}
+	_, err := r.RunMatrix(context.Background(), dbt.DefaultConfig(), []Bench{fb.bench("broken")}, []core.Mode{core.ModeUnsafe})
+	if err == nil {
+		t.Fatal("expected the real fault to fail the matrix")
+	}
+	if got := fb.calls[core.ModeUnsafe]; got != 1 {
+		t.Fatalf("real fault was retried: bench ran %d times, want 1", got)
+	}
+}
+
+// TestRunnerTolerateFaults: a persistently faulted cell degrades to an
+// n/a entry (Row.Faults) while the rest of the matrix completes, and
+// both renderers print "n/a" for it.
+func TestRunnerTolerateFaults(t *testing.T) {
+	good := (&flakyBench{}).bench("good")
+	bad := &flakyBench{failures: 1 << 30, fault: realFault}
+	modes := []core.Mode{core.ModeUnsafe, core.ModeGhostBusters}
+
+	r := &Runner{Workers: 2, TolerateFaults: true}
+	rows, err := r.RunMatrix(context.Background(), dbt.DefaultConfig(),
+		[]Bench{good, bad.bench("bad")}, modes)
+	if err != nil {
+		t.Fatalf("RunMatrix with TolerateFaults: %v", err)
+	}
+	if rows[0].Cycles[core.ModeUnsafe] != 1000 || len(rows[0].Faults) != 0 {
+		t.Fatalf("good row damaged: %+v", rows[0])
+	}
+	badRow := rows[1]
+	for _, m := range modes {
+		if _, ok := badRow.Cycles[m]; ok {
+			t.Fatalf("faulted cell %s has cycles", m)
+		}
+		f := badRow.Faults[m]
+		if f == nil || f.Kind != trap.IllegalInstruction {
+			t.Fatalf("faulted cell %s: Faults entry = %v", m, f)
+		}
+	}
+	table := FormatRows(rows, modes)
+	if !strings.Contains(table, "n/a") {
+		t.Fatalf("FormatRows does not render faulted cells as n/a:\n%s", table)
+	}
+	csv := CSV(rows, modes)
+	if !strings.Contains(csv, "n/a") {
+		t.Fatalf("CSV does not render faulted cells as n/a:\n%s", csv)
+	}
+}
+
+// TestRunnerTolerateFaultsHostErrors: TolerateFaults forgives guest
+// traps only — host-side errors still fail the matrix.
+func TestRunnerTolerateFaultsHostErrors(t *testing.T) {
+	hostErr := Bench{
+		Name: "hosterr",
+		Run: func(context.Context, dbt.Config, *Artifacts) (*KernelRun, error) {
+			return nil, context.DeadlineExceeded
+		},
+	}
+	r := &Runner{Workers: 1, TolerateFaults: true}
+	_, err := r.RunMatrix(context.Background(), dbt.DefaultConfig(), []Bench{hostErr}, []core.Mode{core.ModeUnsafe})
+	if err == nil {
+		t.Fatal("host error was tolerated")
+	}
+}

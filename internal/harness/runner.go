@@ -13,6 +13,7 @@ import (
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/trap"
 )
 
 // Runner is the parallel experiment engine: it fans a (benchmark × mode)
@@ -41,6 +42,23 @@ type Runner struct {
 	// assembled programs across jobs, so an N-mode sweep assembles each
 	// kernel once instead of N times.
 	Artifacts *Artifacts
+
+	// Retries is how many extra attempts a job gets after failing with a
+	// transient fault (one the fault-injection layer raised). Each retry
+	// reseeds the injector (Seed + attempt) so the same deterministic
+	// fault does not simply recur. Real guest faults are never retried:
+	// they are deterministic properties of the guest, not bad luck.
+	Retries int
+
+	// Backoff is the pause before each retry, scaled linearly by the
+	// attempt number (attempt 1 waits Backoff, attempt 2 waits 2×, ...).
+	Backoff time.Duration
+
+	// TolerateFaults keeps the matrix going when a job exhausts its
+	// retries on a guest trap: instead of failing the whole matrix, the
+	// cell is recorded in Row.Faults and rendered as "n/a". Host-side
+	// errors (assembly, validation, timeouts) still fail the matrix.
+	TolerateFaults bool
 }
 
 // Bench is one benchmark of the experiment matrix: a named job factory
@@ -166,6 +184,18 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 	close(jobs)
 	wg.Wait()
 
+	// With TolerateFaults, cells that died on a guest trap (after any
+	// retries) degrade to "n/a" entries instead of failing the matrix.
+	faults := make([]*trap.Fault, nb*nm)
+	if r.TolerateFaults {
+		for idx, err := range errs {
+			if f := trap.As(err); f != nil {
+				faults[idx] = f
+				errs[idx] = nil
+			}
+		}
+	}
+
 	// Collect failures in deterministic job order.
 	var errList []error
 	for _, err := range errs {
@@ -191,7 +221,12 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 	for bi, b := range benches {
 		row := newRow(b.Name)
 		for mi, mode := range modes {
-			run := runs[bi*nm+mi]
+			idx := bi*nm + mi
+			if f := faults[idx]; f != nil {
+				row.Faults[mode] = f
+				continue
+			}
+			run := runs[idx]
 			row.Cycles[mode] = run.Cycles
 			row.Stats[mode] = run.Stats
 			row.HostNS[mode] = run.HostNS
@@ -203,8 +238,38 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 }
 
 // runOne executes a single matrix cell: its own config (mode applied),
-// its own wall-clock guard, its own machine.
+// its own wall-clock guard, its own machine. Transient (injected)
+// faults are retried up to r.Retries times with linear backoff and a
+// reseeded injector; any fault still standing afterwards is surfaced.
 func (r *Runner) runOne(ctx context.Context, base dbt.Config, b Bench, mode core.Mode) (*KernelRun, error) {
+	var lastErr error
+	for attempt := 0; attempt <= r.Retries; attempt++ {
+		if attempt > 0 {
+			if r.Backoff > 0 {
+				select {
+				case <-time.After(time.Duration(attempt) * r.Backoff):
+				case <-ctx.Done():
+				}
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		run, err := r.attemptOne(ctx, base, b, mode, attempt)
+		if err == nil {
+			return run, nil
+		}
+		lastErr = err
+		if f := trap.As(err); f == nil || !f.Transient() {
+			break // real fault or host error: deterministic, retrying is futile
+		}
+	}
+	return nil, lastErr
+}
+
+// attemptOne is one try of a matrix cell. attempt > 0 reseeds the fault
+// injector so the retried run draws a fresh fault schedule.
+func (r *Runner) attemptOne(ctx context.Context, base dbt.Config, b Bench, mode core.Mode, attempt int) (*KernelRun, error) {
 	runCtx := ctx
 	if r.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -214,6 +279,11 @@ func (r *Runner) runOne(ctx context.Context, base dbt.Config, b Bench, mode core
 	cfg := base
 	cfg.Mitigation = mode
 	cfg.Interrupt = runCtx.Done()
+	if cfg.FaultInject != nil && attempt > 0 {
+		fi := *cfg.FaultInject
+		fi.Seed += uint64(attempt)
+		cfg.FaultInject = &fi
+	}
 	start := time.Now()
 	run, err := b.Run(runCtx, cfg, r.Artifacts)
 	hostNS := time.Since(start).Nanoseconds()

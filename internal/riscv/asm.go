@@ -255,6 +255,9 @@ func (a *assembler) layout(stmts []stmt) error {
 		}
 		// Alignment directives adjust the current offset directly.
 		if s.mnemonic == ".align" || s.mnemonic == ".balign" {
+			if len(s.args) != 1 {
+				return &AsmError{s.line, s.mnemonic + " needs one alignment argument"}
+			}
 			al, err := a.parseImm(s.args[0], s.line)
 			if err != nil {
 				return err
@@ -313,6 +316,9 @@ func (a *assembler) stmtSize(s stmt, sec section) (uint64, error) {
 		case ".dword", ".quad":
 			return uint64(8 * len(s.args)), nil
 		case ".space", ".zero":
+			if len(s.args) != 1 {
+				return 0, &AsmError{s.line, s.mnemonic + " needs one size argument"}
+			}
 			n, err := a.parseImm(s.args[0], s.line)
 			if err != nil {
 				return 0, err
@@ -322,12 +328,18 @@ func (a *assembler) stmtSize(s stmt, sec section) (uint64, error) {
 			}
 			return uint64(n), nil
 		case ".asciz", ".string":
+			if len(s.args) != 1 {
+				return 0, &AsmError{s.line, s.mnemonic + " needs one string argument"}
+			}
 			str, err := parseString(s.args[0], s.line)
 			if err != nil {
 				return 0, err
 			}
 			return uint64(len(str) + 1), nil
 		case ".ascii":
+			if len(s.args) != 1 {
+				return 0, &AsmError{s.line, ".ascii needs one string argument"}
+			}
 			str, err := parseString(s.args[0], s.line)
 			if err != nil {
 				return 0, err

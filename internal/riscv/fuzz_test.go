@@ -1,0 +1,103 @@
+package riscv_test
+
+import (
+	"testing"
+
+	"ghostbusters/internal/riscv"
+)
+
+// instEqual compares decoded instructions field by field, ignoring Raw
+// (the one field that legitimately differs between a fuzzed word and
+// its canonical re-encoding: don't-care bits are not preserved).
+func instEqual(a, b riscv.Inst) bool {
+	return a.Op == b.Op && a.Rd == b.Rd && a.Rs1 == b.Rs1 && a.Rs2 == b.Rs2 && a.Imm == b.Imm
+}
+
+// FuzzDecode asserts the decoder's two core robustness properties on
+// arbitrary 32-bit words: it never panics (unrecognised words decode to
+// OpIllegal), and decoding is a canonical form — every legally decoded
+// instruction re-encodes, and the re-encoded word decodes to the same
+// instruction (modulo Raw).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0x00000013)) // nop
+	f.Add(uint32(0x00000073)) // ecall
+	f.Add(uint32(0x00100073)) // ebreak
+	f.Add(uint32(0xFFFFFFFF)) // illegal
+	f.Add(uint32(0x0000006F)) // jal x0, 0
+	f.Add(uint32(0xC0002573)) // rdcycle a0
+	f.Add(uint32(0x0000000F)) // fence
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := riscv.Decode(w)
+		if in.Raw != w {
+			t.Fatalf("Decode(%#08x).Raw = %#08x", w, in.Raw)
+		}
+		if in.Op == riscv.OpIllegal {
+			if _, err := riscv.Encode(in); err == nil {
+				t.Fatalf("Encode accepted illegal word %#08x", w)
+			}
+			return
+		}
+		enc, err := riscv.Encode(in)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %s but Encode failed: %v", w, in, err)
+		}
+		re := riscv.Decode(enc)
+		if !instEqual(in, re) {
+			t.Fatalf("roundtrip %#08x: decoded %+v, re-encoded %#08x decodes to %+v", w, in, enc, re)
+		}
+	})
+}
+
+// FuzzAsmRoundTrip feeds arbitrary text to the assembler: it must
+// return a program or an error, never panic; and on success every
+// emitted text word must decode to a legal instruction whose canonical
+// re-encoding is byte-identical (the assembler only emits canonical
+// words).
+func FuzzAsmRoundTrip(f *testing.F) {
+	f.Add("main:\n\tli a0, 0\n\tecall\n")
+	f.Add("main:\n\tla t0, x\n\tld t1, 0(t0)\n\t.data\nx:\t.dword 42\n")
+	f.Add("loop:\n\taddi t0, t0, 1\n\tblt t0, t1, loop\n\tret\n")
+	f.Add(".equ N, 4\n\t.text\nmain:\n\tli a0, N\n\tecall\n")
+	f.Add("main:\n\trdcycle t0\n\tcflushall\n\tebreak\n")
+	f.Add("\t.data\n\t.align 6\nbuf:\t.space 128\n\t.text\nmain: call main\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := riscv.Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, w := range prog.Text {
+			in := riscv.Decode(w)
+			if in.Op == riscv.OpIllegal {
+				t.Fatalf("assembled word %d (%#08x) decodes illegal", i, w)
+			}
+			enc, encErr := riscv.Encode(in)
+			if encErr != nil {
+				t.Fatalf("assembled word %d (%#08x, %s) does not re-encode: %v", i, w, in, encErr)
+			}
+			if enc != w {
+				t.Fatalf("assembled word %d not canonical: %#08x re-encodes to %#08x", i, w, enc)
+			}
+		}
+	})
+}
+
+// FuzzStep runs arbitrary words through one interpreter step over a
+// tiny memory image: whatever the word and register state, Step must
+// return a result or a well-formed fault event, never panic.
+func FuzzStep(f *testing.F) {
+	f.Add(uint32(0x00000013), uint64(0), uint64(0))
+	f.Add(uint32(0xFF0000E7), uint64(1<<40), uint64(3)) // jalr into the void
+	f.Add(uint32(0x00053503), uint64(0xFFFFFFFFFFFF), uint64(0))
+	f.Fuzz(func(t *testing.T, w uint32, r10, r11 uint64) {
+		b := newBus()
+		st := riscv.State{PC: 0x10000}
+		st.X[10], st.X[11] = r10, r11
+		if err := b.Mem.Write(0x10000, 4, uint64(w)); err != nil {
+			t.Fatal(err)
+		}
+		res := riscv.Step(&st, b, riscv.DefaultTiming(), 0)
+		if res.Event.Kind == riscv.EvFault && res.Event.Err == nil {
+			t.Fatal("fault event with nil error")
+		}
+	})
+}

@@ -1,8 +1,9 @@
 package riscv
 
 import (
-	"fmt"
 	"math/bits"
+
+	"ghostbusters/internal/trap"
 )
 
 // State is the RISC-V architectural state of the guest.
@@ -66,13 +67,23 @@ type StepResult struct {
 	Target   uint64 // branch/jump destination when taken
 }
 
+// fetchFault classifies a failed instruction fetch: control reached an
+// address that does not hold executable code (out of range, misaligned,
+// or otherwise unreadable), i.e. a branch or jump to an invalid target.
+func fetchFault(pc uint64, err error) Event {
+	f := trap.Newf(trap.InvalidBranchTarget, "instruction fetch failed: %s", trap.From(err).Detail)
+	f.PC = pc
+	f.Addr = pc
+	return Event{Kind: EvFault, Err: f, Addr: pc}
+}
+
 // Step interprets the instruction at st.PC, advancing the state. now is
 // the machine cycle counter before this instruction (visible via rdcycle).
 func Step(st *State, bus Bus, tm Timing, now uint64) StepResult {
 	pc := st.PC
 	word, err := bus.Fetch(pc)
 	if err != nil {
-		return StepResult{Event: Event{Kind: EvFault, Err: err, Addr: pc}}
+		return StepResult{Event: fetchFault(pc, err)}
 	}
 	return stepDecoded(st, bus, tm, now, Decode(word))
 }
@@ -86,7 +97,7 @@ func StepPredecoded(st *State, bus Bus, tm Timing, now uint64, pd *Predecode) St
 	pc := st.PC
 	in, err := pd.fetch(pc, bus)
 	if err != nil {
-		return StepResult{Event: Event{Kind: EvFault, Err: err, Addr: pc}}
+		return StepResult{Event: fetchFault(pc, err)}
 	}
 	return stepDecoded(st, bus, tm, now, in)
 }
@@ -96,7 +107,9 @@ func stepDecoded(st *State, bus Bus, tm Timing, now uint64, in Inst) StepResult 
 	pc := st.PC
 	res := StepResult{Inst: in, Cycles: tm.BaseCPI}
 	if in.Op == OpIllegal {
-		res.Event = Event{Kind: EvFault, Err: fmt.Errorf("illegal instruction %#08x", in.Raw), Addr: pc}
+		f := trap.Newf(trap.IllegalInstruction, "illegal instruction %#08x", in.Raw)
+		f.PC = pc
+		res.Event = Event{Kind: EvFault, Err: f, Addr: pc}
 		return res
 	}
 
@@ -139,7 +152,9 @@ func stepDecoded(st *State, bus Bus, tm Timing, now uint64, in Inst) StepResult 
 		v, lat, err := bus.Load(addr, size)
 		res.Cycles += lat
 		if err != nil {
-			res.Event = Event{Kind: EvFault, Err: err, Addr: pc}
+			f := trap.From(err)
+			f.PC = pc
+			res.Event = Event{Kind: EvFault, Err: f, Addr: pc}
 			return res
 		}
 		setX(in.Rd, ExtendLoad(in.Op, v))
@@ -149,7 +164,9 @@ func stepDecoded(st *State, bus Bus, tm Timing, now uint64, in Inst) StepResult 
 		lat, err := bus.Store(addr, in.Op.MemSize(), x(in.Rs2))
 		res.Cycles += lat
 		if err != nil {
-			res.Event = Event{Kind: EvFault, Err: err, Addr: pc}
+			f := trap.From(err)
+			f.PC = pc
+			res.Event = Event{Kind: EvFault, Err: f, Addr: pc}
 			return res
 		}
 
@@ -197,7 +214,9 @@ func stepDecoded(st *State, bus Bus, tm Timing, now uint64, in Inst) StepResult 
 		bus.FlushAll()
 
 	default:
-		res.Event = Event{Kind: EvFault, Err: fmt.Errorf("unimplemented op %s", in.Op), Addr: pc}
+		f := trap.Newf(trap.IllegalInstruction, "unimplemented op %s", in.Op)
+		f.PC = pc
+		res.Event = Event{Kind: EvFault, Err: f, Addr: pc}
 		return res
 	}
 

@@ -1,0 +1,208 @@
+// Package trap defines the structured guest-fault model of the simulated
+// DBT-based processor. Every error the simulator can raise on behalf of
+// guest-controlled input — malformed instructions, wild loads, runaway
+// loops, translation failures — is a typed *Fault carrying the guest PC,
+// the machine cycle, the faulting address and the identity of the
+// translated block (when one was executing). The process-level contract
+// is: adversarial guest code makes Run return a *Fault; it never panics
+// the simulator.
+package trap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a guest trap.
+type Kind uint8
+
+const (
+	// IllegalInstruction: the guest executed a word that does not decode
+	// to a supported RV64IM instruction.
+	IllegalInstruction Kind = iota
+	// MisalignedAccess: a scalar load or store whose address is not a
+	// multiple of its size.
+	MisalignedAccess
+	// OutOfRangeAccess: a load or store outside guest physical memory.
+	OutOfRangeAccess
+	// ProtectedAccess: an architectural read of the protected region
+	// (the "location which should not be readable" of the Spectre PoC).
+	ProtectedAccess
+	// InvalidBranchTarget: control transferred to a PC that cannot be
+	// fetched — outside memory, or not 4-byte aligned.
+	InvalidBranchTarget
+	// TranslationFailure: the DBT engine could not translate a region.
+	// The machine degrades gracefully — the region stays interpreted —
+	// so this kind is recorded in the run's trap counts rather than
+	// terminating execution.
+	TranslationFailure
+	// CycleBudgetExceeded: the guest ran past Config.MaxCycles.
+	CycleBudgetExceeded
+	// DeferredFault: architectural use of a poisoned value — a squashed
+	// speculative load's exception delivered at the original program
+	// position (the NaT-style deferred exception of the VLIW core).
+	DeferredFault
+	// CacheFault: a transient failure of the memory system. Only raised
+	// by the fault-injection layer in this model.
+	CacheFault
+	// SpuriousInterrupt: an asynchronous interrupt not requested by the
+	// host. Only raised by the fault-injection layer.
+	SpuriousInterrupt
+	// Internal: a simulator invariant was violated (translator or
+	// scheduler bug). Never the guest's fault, but still returned as an
+	// error instead of panicking so one bad cell cannot kill a sweep.
+	Internal
+
+	numKinds
+)
+
+// NumKinds is the number of defined trap kinds (for dense counters).
+const NumKinds = int(numKinds)
+
+var kindNames = [NumKinds]string{
+	IllegalInstruction:  "illegal-instruction",
+	MisalignedAccess:    "misaligned-access",
+	OutOfRangeAccess:    "out-of-range-access",
+	ProtectedAccess:     "protected-access",
+	InvalidBranchTarget: "invalid-branch-target",
+	TranslationFailure:  "translation-failure",
+	CycleBudgetExceeded: "cycle-budget-exceeded",
+	DeferredFault:       "deferred-fault",
+	CacheFault:          "cache-fault",
+	SpuriousInterrupt:   "spurious-interrupt",
+	Internal:            "internal",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Fault is a structured guest trap. The zero values of the context
+// fields mean "unknown/not applicable": lower layers (guest memory, the
+// cache) fill in what they know (Kind, Addr) and each layer above
+// enriches the same fault in place — the interpreter and VLIW core add
+// the guest PC, the machine dispatch loop adds the cycle count and the
+// translated-block identity.
+type Fault struct {
+	Kind  Kind
+	PC    uint64 // guest PC of the faulting instruction
+	Addr  uint64 // faulting data address or branch target
+	Cycle uint64 // machine cycle when the fault was raised
+
+	// Block is the entry PC of the translated region that was executing,
+	// 0 when the fault was raised from interpreted code.
+	Block uint64
+
+	// Injected marks faults raised by the deterministic fault-injection
+	// layer. Injected faults are transient by construction: retrying the
+	// run with a different injector seed may succeed.
+	Injected bool
+
+	Detail string // human-readable cause ("read of protected region", ...)
+}
+
+// Error renders the fault with every populated context field, so a bare
+// %v in a log line already carries the full diagnosis.
+func (f *Fault) Error() string {
+	s := "trap: " + f.Kind.String()
+	if f.Detail != "" {
+		s += ": " + f.Detail
+	}
+	s += fmt.Sprintf(" (pc=%#x", f.PC)
+	if f.Addr != 0 || f.Kind == MisalignedAccess || f.Kind == OutOfRangeAccess {
+		s += fmt.Sprintf(" addr=%#x", f.Addr)
+	}
+	s += fmt.Sprintf(" cycle=%d", f.Cycle)
+	if f.Block != 0 {
+		s += fmt.Sprintf(" block=%#x", f.Block)
+	}
+	if f.Injected {
+		s += " injected"
+	}
+	return s + ")"
+}
+
+// Transient reports whether retrying the same run could plausibly
+// succeed. Only injected faults are transient in this deterministic
+// simulator; the distinction is what the harness retry policy keys on.
+func (f *Fault) Transient() bool { return f.Injected }
+
+// Newf builds a fault with a formatted detail string.
+func Newf(kind Kind, format string, args ...any) *Fault {
+	return &Fault{Kind: kind, Detail: fmt.Sprintf(format, args...)}
+}
+
+// As extracts a *Fault from err's chain, nil when there is none.
+func As(err error) *Fault {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	return nil
+}
+
+// IsKind reports whether err carries a fault of the given kind.
+func IsKind(err error, kind Kind) bool {
+	f := As(err)
+	return f != nil && f.Kind == kind
+}
+
+// From adapts an arbitrary error into a fault: an existing *Fault in the
+// chain is returned as-is (so context enrichment survives wrapping), any
+// other error becomes an Internal fault.
+func From(err error) *Fault {
+	if f := As(err); f != nil {
+		return f
+	}
+	return &Fault{Kind: Internal, Detail: err.Error()}
+}
+
+// Counts is a dense per-kind trap counter. It is a fixed-size array so
+// structs embedding it stay comparable and copyable (dbt.Stats).
+type Counts [NumKinds]uint64
+
+// Record increments the counter for k.
+func (c *Counts) Record(k Kind) {
+	if int(k) < NumKinds {
+		c[k]++
+	}
+}
+
+// Get returns the recorded count for k.
+func (c *Counts) Get(k Kind) uint64 {
+	if int(k) < NumKinds {
+		return c[k]
+	}
+	return 0
+}
+
+// Total returns the number of recorded traps across all kinds.
+func (c *Counts) Total() uint64 {
+	var t uint64
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// String renders the non-zero counters ("illegal-instruction=2 ..."),
+// or "none".
+func (c *Counts) String() string {
+	s := ""
+	for k, n := range c {
+		if n == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", Kind(k), n)
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package trap_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ghostbusters/internal/trap"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := 0; k < trap.NumKinds; k++ {
+		s := trap.Kind(k).String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("Kind(%d) has no name: %q", k, s)
+		}
+	}
+	if got := trap.Kind(200).String(); got != "kind(200)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestFaultErrorCarriesContext(t *testing.T) {
+	f := &trap.Fault{
+		Kind:   trap.OutOfRangeAccess,
+		PC:     0x10008,
+		Addr:   0x40,
+		Cycle:  1234,
+		Block:  0x10000,
+		Detail: "load past end of memory",
+	}
+	msg := f.Error()
+	for _, want := range []string{"out-of-range-access", "pc=0x10008", "addr=0x40", "cycle=1234", "block=0x10000", "load past end"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "injected") {
+		t.Errorf("non-injected fault renders injected: %q", msg)
+	}
+	f.Injected = true
+	if !strings.Contains(f.Error(), "injected") {
+		t.Errorf("injected fault not marked: %q", f.Error())
+	}
+}
+
+func TestAsAndIsKindThroughWrapping(t *testing.T) {
+	f := trap.Newf(trap.IllegalInstruction, "word %#x", 0xffffffff)
+	wrapped := fmt.Errorf("harness: gemm (unsafe): %w", fmt.Errorf("dbt: %w", f))
+	if got := trap.As(wrapped); got != f {
+		t.Fatalf("As(wrapped) = %v, want the original fault", got)
+	}
+	if !trap.IsKind(wrapped, trap.IllegalInstruction) {
+		t.Error("IsKind(wrapped, IllegalInstruction) = false")
+	}
+	if trap.IsKind(wrapped, trap.MisalignedAccess) {
+		t.Error("IsKind matched the wrong kind")
+	}
+	if trap.As(errors.New("plain")) != nil {
+		t.Error("As(plain error) should be nil")
+	}
+}
+
+func TestFrom(t *testing.T) {
+	f := &trap.Fault{Kind: trap.CacheFault, PC: 0x10}
+	if got := trap.From(fmt.Errorf("wrap: %w", f)); got != f {
+		t.Errorf("From should unwrap to the original fault, got %v", got)
+	}
+	adapted := trap.From(errors.New("scheduler invariant broken"))
+	if adapted.Kind != trap.Internal || !strings.Contains(adapted.Detail, "scheduler invariant") {
+		t.Errorf("From(plain) = %+v, want Internal fault with detail", adapted)
+	}
+}
+
+func TestTransient(t *testing.T) {
+	if (&trap.Fault{Kind: trap.CacheFault}).Transient() {
+		t.Error("non-injected fault must not be transient")
+	}
+	if !(&trap.Fault{Kind: trap.CacheFault, Injected: true}).Transient() {
+		t.Error("injected fault must be transient")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	var c trap.Counts
+	if c.Total() != 0 || c.String() != "none" {
+		t.Fatalf("zero Counts: total=%d str=%q", c.Total(), c.String())
+	}
+	c.Record(trap.TranslationFailure)
+	c.Record(trap.TranslationFailure)
+	c.Record(trap.SpuriousInterrupt)
+	c.Record(trap.Kind(250)) // out of range: ignored, no panic
+	if c.Total() != 3 {
+		t.Errorf("Total = %d, want 3", c.Total())
+	}
+	s := c.String()
+	if !strings.Contains(s, "translation-failure=2") || !strings.Contains(s, "spurious-interrupt=1") {
+		t.Errorf("String = %q", s)
+	}
+	// Counts must stay comparable (it is embedded in dbt.Stats).
+	d := c
+	if d != c {
+		t.Error("Counts copies must compare equal")
+	}
+}

@@ -34,7 +34,7 @@ func steadyStateBlock(cfg Config) *Block {
 // perf work promises.
 func TestExecSteadyStateZeroAllocs(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := steadyStateBlock(cfg)
 	b := newTestBus()
 	var regs [NumRegs]uint64
@@ -58,7 +58,7 @@ func TestExecSteadyStateZeroAllocs(t *testing.T) {
 
 func BenchmarkExecSteadyState(b *testing.B) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := steadyStateBlock(cfg)
 	bs := newTestBus()
 	var regs [NumRegs]uint64

@@ -1,18 +1,17 @@
 package vliw
 
 import (
-	"fmt"
-
 	"ghostbusters/internal/bus"
 	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/trap"
 )
 
 // ExitInfo reports how a translated block finished.
 type ExitInfo struct {
 	NextPC   uint64
-	SideExit bool   // a trace side exit was taken (static misprediction)
-	Fault    error  // architectural fault, nil otherwise
-	FaultPC  uint64 // guest PC of the faulting operation
+	SideExit bool        // a trace side exit was taken (static misprediction)
+	Fault    *trap.Fault // architectural fault, nil otherwise
+	FaultPC  uint64      // guest PC of the faulting operation
 }
 
 // Stats accumulates dynamic execution counters of the core.
@@ -71,13 +70,22 @@ func (s *execScratch) reset() {
 	s.recov = s.recov[:0]
 }
 
-// NewCore builds a core; it panics on an invalid configuration
-// (construction-time programming error).
-func NewCore(cfg Config) *Core {
+// NewCore builds a core, rejecting invalid configurations with an error
+// (the simulator core never panics; see internal/trap).
+func NewCore(cfg Config) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Core{Cfg: cfg}, nil
+}
+
+// MustNewCore is NewCore for configurations known valid (tests).
+func MustNewCore(cfg Config) *Core {
+	c, err := NewCore(cfg)
+	if err != nil {
 		panic(err)
 	}
-	return &Core{Cfg: cfg}
+	return c
 }
 
 type pendingWrite struct {
@@ -86,8 +94,21 @@ type pendingWrite struct {
 	poison bool
 }
 
-func errPoisonUse(sy *Syllable) error {
-	return fmt.Errorf("vliw: architectural use of poisoned (squashed speculative) value by %s at guest pc %#x", sy, sy.GuestPC)
+// errPoisonUse is the deferred exception of a squashed speculative load
+// delivered at an architectural use of its poisoned result — by
+// construction at the speculated instruction's original program
+// position, never on a misspeculated path.
+func errPoisonUse(sy *Syllable) *trap.Fault {
+	f := trap.Newf(trap.DeferredFault, "architectural use of poisoned (squashed speculative) value by %s", sy)
+	f.PC = sy.GuestPC
+	return f
+}
+
+// errInternal flags a violated translator/scheduler invariant.
+func errInternal(pc uint64, format string, args ...any) *trap.Fault {
+	f := trap.Newf(trap.Internal, format, args...)
+	f.PC = pc
+	return f
 }
 
 // Exec runs one translated block. regs is the persistent physical
@@ -101,7 +122,11 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 
 	fault := func(err error, pc uint64) ExitInfo {
 		c.MCB.Reset()
-		return ExitInfo{Fault: err, FaultPC: pc}
+		f := trap.From(err)
+		if f.PC == 0 {
+			f.PC = pc // lower layers know only the kind and address
+		}
+		return ExitInfo{Fault: f, FaultPC: pc}
 	}
 
 	read := func(r uint8) uint64 {
@@ -116,7 +141,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 			return nil
 		}
 		if scr.written[sy.Dst] {
-			ei := fault(fmt.Errorf("vliw: double write of r%d in one bundle", sy.Dst), sy.GuestPC)
+			ei := fault(errInternal(sy.GuestPC, "vliw: double write of r%d in one bundle", sy.Dst), sy.GuestPC)
 			return &ei
 		}
 		scr.written[sy.Dst] = true
@@ -226,7 +251,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 				if faulted {
 					// The speculative load faults at its original
 					// program position (exception no longer deferred).
-					return fault(fmt.Errorf("vliw: speculative load fault at chk, guest pc %#x", sy.GuestPC), sy.GuestPC)
+					return fault(trap.Newf(trap.DeferredFault, "speculative load fault delivered at chk"), sy.GuestPC)
 				}
 				if conflict {
 					scr.recov = append(scr.recov, sy.Rec)
@@ -280,7 +305,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 				}
 
 			default:
-				return fault(fmt.Errorf("vliw: unknown syllable kind %d", sy.Kind), sy.GuestPC)
+				return fault(errInternal(sy.GuestPC, "vliw: unknown syllable kind %d", sy.Kind), sy.GuestPC)
 			}
 		}
 
@@ -293,7 +318,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 		// MCB recoveries detected in this bundle, in check order.
 		for _, rec := range scr.recov {
 			if int(rec) < 0 || int(rec) >= len(blk.Recoveries) {
-				return fault(fmt.Errorf("vliw: recovery %d out of range", rec), 0)
+				return fault(errInternal(0, "vliw: recovery %d out of range", rec), 0)
 			}
 			c.Stats.Recoveries++
 			*cycles += c.Cfg.RecoveryPenalty
@@ -311,7 +336,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 		}
 		if haveNext {
 			if n := c.MCB.Outstanding(); n != 0 {
-				return fault(fmt.Errorf("vliw: %d MCB entries outstanding at block exit", n), 0)
+				return fault(errInternal(0, "vliw: %d MCB entries outstanding at block exit", n), 0)
 			}
 			c.Instret += uint64(blk.GuestInsts)
 			return ExitInfo{NextPC: nextPC}
@@ -319,7 +344,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 	}
 
 	if n := c.MCB.Outstanding(); n != 0 {
-		return fault(fmt.Errorf("vliw: %d MCB entries outstanding at block fallthrough", n), 0)
+		return fault(errInternal(0, "vliw: %d MCB entries outstanding at block fallthrough", n), 0)
 	}
 	c.Instret += uint64(blk.GuestInsts)
 	return ExitInfo{NextPC: blk.FallPC}
@@ -346,7 +371,11 @@ func (c *Core) execRecovery(seq []Syllable, regs *[NumRegs]uint64, poisoned *[Nu
 	}
 	failf := func(sy *Syllable, err error) *ExitInfo {
 		c.MCB.Reset()
-		return &ExitInfo{Fault: err, FaultPC: sy.GuestPC}
+		f := trap.From(err)
+		if f.PC == 0 {
+			f.PC = sy.GuestPC
+		}
+		return &ExitInfo{Fault: f, FaultPC: sy.GuestPC}
 	}
 	for i := range seq {
 		sy := &seq[i]
@@ -404,7 +433,7 @@ func (c *Core) execRecovery(seq []Syllable, regs *[NumRegs]uint64, poisoned *[Nu
 			}
 			write(sy.Dst, val, squashed)
 		default:
-			return failf(sy, fmt.Errorf("vliw: kind %s not allowed in recovery code", sy.Kind))
+			return failf(sy, errInternal(sy.GuestPC, "vliw: kind %s not allowed in recovery code", sy.Kind))
 		}
 	}
 	return nil

@@ -12,7 +12,7 @@ import (
 )
 
 func newTestBus() *bus.Bus {
-	return bus.New(guestmem.New(0x10000, 1<<20), cache.DefaultConfig())
+	return bus.MustNew(guestmem.New(0x10000, 1<<20), cache.DefaultConfig())
 }
 
 // pad fills a bundle to the config width with nops.
@@ -24,7 +24,7 @@ func pad(cfg Config, sylls ...Syllable) Bundle {
 
 func TestExecStraightLineALU(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{
 		EntryPC: 0x100,
 		FallPC:  0x200,
@@ -62,7 +62,7 @@ func TestExecBundleReadsPreBundleState(t *testing.T) {
 	// Swap two registers in one bundle: both reads must sample pre-bundle
 	// values (the VLIW lockstep semantics).
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{Bundles: []Bundle{
 		pad(cfg,
 			Syllable{Kind: KAluRI, Op: riscv.ADDI, Dst: 5, Ra: 6},
@@ -82,7 +82,7 @@ func TestExecBundleReadsPreBundleState(t *testing.T) {
 
 func TestExecDoubleWriteFaults(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{Bundles: []Bundle{
 		pad(cfg,
 			Syllable{Kind: KMovI, Dst: 5, Imm: 1},
@@ -97,7 +97,7 @@ func TestExecDoubleWriteFaults(t *testing.T) {
 
 func TestExecLoadStoreAndMissStall(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	b := newTestBus()
 	_ = b.Mem.Write(0x20000, 8, 0xCAFE)
 	blk := &Block{Bundles: []Bundle{
@@ -127,7 +127,7 @@ func TestExecLoadStoreAndMissStall(t *testing.T) {
 
 func TestExecSideExit(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{
 		FallPC: 0x300,
 		Bundles: []Bundle{
@@ -155,7 +155,7 @@ func TestExecSideExit(t *testing.T) {
 
 func TestExecBranchNotTakenFallsThrough(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{
 		FallPC: 0x300,
 		Bundles: []Bundle{
@@ -173,7 +173,7 @@ func TestExecBranchNotTakenFallsThrough(t *testing.T) {
 
 func TestExecJumpR(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{Bundles: []Bundle{
 		pad(cfg, Syllable{Kind: KMovI, Dst: 1, Imm: 0x4242}),
 		pad(cfg, Syllable{Kind: KJumpR, Ra: 1, Imm: 8}),
@@ -188,7 +188,7 @@ func TestExecJumpR(t *testing.T) {
 
 func TestExecDismissableLoadSquashAndCommitFault(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	// ldd from an unmapped address: squashed, poison set; commit faults.
 	blk := &Block{Bundles: []Bundle{
 		pad(cfg, Syllable{Kind: KMovI, Dst: 40, Imm: 0x7FFFFFFF}),
@@ -208,7 +208,7 @@ func TestExecDismissableLoadSquashAndCommitFault(t *testing.T) {
 
 func TestExecDismissableLoadSquashDiscardedOnExit(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	// ldd squashes, but the side exit is taken before the commit: the
 	// squashed fault disappears, exactly like misspeculation.
 	blk := &Block{
@@ -233,7 +233,7 @@ func TestExecDismissableLoadFillsCache(t *testing.T) {
 	// The microarchitectural leak: a dismissable load of protected data
 	// succeeds (value flows) and fills the cache line.
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	b := newTestBus()
 	_ = b.Mem.Write(0x30000, 8, 42)
 	b.Mem.Protect(0x30000, 0x30008)
@@ -257,7 +257,7 @@ func TestExecDismissableLoadFillsCache(t *testing.T) {
 // recovery which re-loads the corrected value.
 func TestExecMCBConflictRecovery(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	b := newTestBus()
 	_ = b.Mem.Write(0x20000, 8, 1) // old value
 
@@ -297,7 +297,7 @@ func TestExecMCBConflictRecovery(t *testing.T) {
 // No conflict: chk validates silently, speculative value stands.
 func TestExecMCBNoConflict(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	b := newTestBus()
 	_ = b.Mem.Write(0x20000, 8, 7)
 	blk := &Block{
@@ -329,7 +329,7 @@ func TestExecMCBNoConflict(t *testing.T) {
 
 func TestExecMCBOutstandingAtExitFaults(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{
 		FallPC: 0x300,
 		Bundles: []Bundle{
@@ -345,7 +345,7 @@ func TestExecMCBOutstandingAtExitFaults(t *testing.T) {
 
 func TestExecSideExitClearsMCB(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{
 		FallPC: 0x300,
 		Bundles: []Bundle{
@@ -367,7 +367,7 @@ func TestExecSideExitClearsMCB(t *testing.T) {
 
 func TestExecRdcycleObservesStalls(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	b := newTestBus()
 	blk := &Block{
 		FallPC: 0x300,
@@ -390,7 +390,7 @@ func TestExecRdcycleObservesStalls(t *testing.T) {
 
 func TestExecFlush(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	b := newTestBus()
 	b.DC.Access(0x10000)
 	blk := &Block{Bundles: []Bundle{
@@ -433,7 +433,7 @@ func TestExecArchUseOfPoisonFaults(t *testing.T) {
 		{Kind: KFlush, Op: riscv.CFLUSH, Ra: 40},
 	}
 	for i, u := range uses {
-		c := NewCore(cfg)
+		c := MustNewCore(cfg)
 		var regs [NumRegs]uint64
 		var cycles uint64
 		if ei := c.Exec(mk(u), &regs, newTestBus(), &cycles); ei.Fault == nil {
@@ -444,7 +444,7 @@ func TestExecArchUseOfPoisonFaults(t *testing.T) {
 
 func TestExecPoisonPropagatesThroughALU(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{Bundles: []Bundle{
 		pad(cfg, Syllable{Kind: KLoadD, Op: riscv.LD, Dst: 40, Ra: 0, Imm: 0x7FFFFF00}),
 		pad(cfg, Syllable{Kind: KAluRI, Op: riscv.ADDI, Dst: 41, Ra: 40, Imm: 1}),
@@ -667,7 +667,7 @@ func TestExecRecoveryReplaysCommitAndRefreshesLDS(t *testing.T) {
 	// Conflict recovery replays a dependent lds (refreshing its MCB
 	// entry) and a commit; the dependent chk then validates cleanly.
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	b := newTestBus()
 	_ = b.Mem.Write(0x20000, 8, 0x20100) // pointer slot: points at 0x20100
 	_ = b.Mem.Write(0x20100, 8, 7)       // old target value
@@ -721,7 +721,7 @@ func TestExecRecoveryReplaysCommitAndRefreshesLDS(t *testing.T) {
 
 func TestExecInstretCSR(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	c.Instret = 123
 	blk := &Block{Bundles: []Bundle{
 		pad(cfg, Syllable{Kind: KCsr, Dst: 5, Imm: riscv.CSRInstret}),
@@ -741,7 +741,7 @@ func TestExecInstretCSR(t *testing.T) {
 
 func TestExecJumpOverridesFallthrough(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{
 		FallPC: 0x999,
 		Bundles: []Bundle{
@@ -758,7 +758,7 @@ func TestExecJumpOverridesFallthrough(t *testing.T) {
 
 func TestZeroBundleBlockCostsACycle(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{FallPC: 0x10}
 	var regs [NumRegs]uint64
 	var cycles uint64
@@ -772,7 +772,7 @@ func TestZeroBundleBlockCostsACycle(t *testing.T) {
 
 func TestWritesToR0Discarded(t *testing.T) {
 	cfg := DefaultConfig()
-	c := NewCore(cfg)
+	c := MustNewCore(cfg)
 	blk := &Block{Bundles: []Bundle{
 		pad(cfg, Syllable{Kind: KMovI, Dst: 0, Imm: 99},
 			Syllable{Kind: KAluRI, Op: riscv.ADDI, Dst: 5, Ra: 0, Imm: 1}),

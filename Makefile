@@ -6,11 +6,12 @@
 #   make bench   host-performance benchmarks, benchstat-compatible output
 #   make fig4    print the Figure 4 table (parallel harness)
 #   make perf    record the Figure 4 perf JSON (BENCH_fig4.json schema)
+#   make trace   capture a Perfetto trace of the Spectre v1 PoC
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf
+.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf trace
 
 build:
 	$(GO) build ./...
@@ -57,3 +58,11 @@ fig4:
 
 perf:
 	$(GO) run ./cmd/gbbench -exp fig4 -perfjson BENCH_fig4.json
+
+# Full-detail trace of the Spectre v1 attack, timed in simulated
+# cycles. Open trace_v1.json at https://ui.perfetto.dev to watch the
+# transient window: flushes, the speculative load of the secret, and
+# the probe loop.
+trace:
+	$(GO) run ./cmd/gbspectre -variant v1 -traceout trace_v1.json -trace-format perfetto
+	@echo "wrote trace_v1.json — open it at https://ui.perfetto.dev"

@@ -22,6 +22,11 @@
 //	                                        simulated cycles exceed the
 //	                                        baseline's
 //
+// Each perf JSON entry also embeds the cell's full metrics snapshot
+// (the stable-name counters of the observability layer: sim.*, dbt.*,
+// core.*, mitigation.*, cache.*, ...) for dashboards and diffing; the
+// regression check still compares exactly sim_cycles.
+//
 // The fault-tolerance layer is exercised with the injection flags:
 //
 //	gbbench -exp fig4 -inject-translation-rate 0.2 -inject-seed 7 \

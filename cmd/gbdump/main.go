@@ -46,7 +46,21 @@ func main() {
 
 	if *dotAt != "" {
 		addr, err := strconv.ParseUint(*dotAt, 0, 64)
-		fail(err)
+		if err != nil {
+			fail(fmt.Errorf("-dot: %q is not an address (want hex like 0x10b4)", *dotAt))
+		}
+		if machine.BlockAt(addr) == nil {
+			fmt.Fprintf(os.Stderr, "gbdump: no translated block starts at %#x\n", addr)
+			if pcs := machine.TranslatedPCs(); len(pcs) == 0 {
+				fmt.Fprintln(os.Stderr, "gbdump: nothing was translated — the program never crossed the hotness threshold")
+			} else {
+				fmt.Fprintln(os.Stderr, "gbdump: translated entry points:")
+				for _, pc := range pcs {
+					fmt.Fprintf(os.Stderr, "  %#x%s\n", pc, symbolAt(prog, pc))
+				}
+			}
+			os.Exit(1)
+		}
 		dot, err := machine.DumpIR(addr)
 		fail(err)
 		fmt.Println(dot)
@@ -68,13 +82,7 @@ func main() {
 		return regions[a].blk.GuestInsts > regions[b].blk.GuestInsts
 	})
 	for _, r := range regions {
-		name := ""
-		for sym, a := range prog.Symbols {
-			if a == r.pc {
-				name = " <" + sym + ">"
-			}
-		}
-		fmt.Printf("--- %#x%s (%d guest insts)\n", r.pc, name, r.blk.GuestInsts)
+		fmt.Printf("--- %#x%s (%d guest insts)\n", r.pc, symbolAt(prog, r.pc), r.blk.GuestInsts)
 		fmt.Print(r.blk.String())
 		if *encode {
 			data, err := vliw.EncodeBlock(r.blk)
@@ -84,6 +92,16 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// symbolAt renders " <name>" when a symbol is defined at pc, else "".
+func symbolAt(prog *ghostbusters.Program, pc uint64) string {
+	for sym, a := range prog.Symbols {
+		if a == pc {
+			return " <" + sym + ">"
+		}
+	}
+	return ""
 }
 
 func fail(err error) {

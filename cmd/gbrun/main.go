@@ -2,7 +2,8 @@
 // simulated DBT-based processor:
 //
 //	gbrun [-mode unsafe|ghostbusters|fence|nospec] [-width 2|4|8]
-//	      [-interp] [-stats] program.s
+//	      [-interp] [-stats] [-json] [-trace] [-traceout file]
+//	      [-trace-format text|jsonl|perfetto] [-profile] program.s
 //
 // The exit status is the guest's exit code when the guest runs to
 // completion. Failures use distinct codes:
@@ -13,11 +14,19 @@
 //	   cycle-budget exhaustion, ...) — the trap kind, guest PC, faulting
 //	   address and cycle count are printed to stderr
 //
+// -trace logs block dispatches and taken interpreter branches to stderr
+// in the classic human-readable line format. -traceout writes the full
+// event stream (including per-speculative-load events) to a file in the
+// format chosen by -trace-format; "perfetto" produces a Chrome
+// trace-event JSON loadable in ui.perfetto.dev, timed in simulated
+// cycles. The two compose: both sinks see the same stream.
+//
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (host-side performance, not guest cycles).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,8 +46,11 @@ func main() {
 	width := flag.Int("width", 4, "VLIW issue width: 2, 4 or 8")
 	interp := flag.Bool("interp", false, "interpreter only (no translation)")
 	stats := flag.Bool("stats", false, "print machine statistics")
+	jsonOut := flag.Bool("json", false, "with -stats, print the metrics snapshot as JSON instead of text")
 	trace := flag.Bool("trace", false, "log every block dispatch and taken branch to stderr")
-	profile := flag.Bool("profile", false, "print the hottest translated regions")
+	traceOut := flag.String("traceout", "", "write the trace event stream to this file")
+	traceFormat := flag.String("trace-format", "perfetto", "trace file format: text | jsonl | perfetto")
+	profile := flag.Bool("profile", false, "print the hottest translated regions by attributed cycles")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -66,9 +78,7 @@ func main() {
 		fail(fmt.Errorf("unsupported width %d", *width))
 	}
 	cfg.DisableTranslation = *interp
-	if *trace {
-		cfg.Trace = os.Stderr
-	}
+	cfg.Tracer = buildTracer(*trace, *traceOut, *traceFormat)
 
 	prog, err := ghostbusters.Assemble(string(src))
 	fail(err)
@@ -77,7 +87,7 @@ func main() {
 	fail(machine.Load(prog))
 	res, err := machine.Run()
 	if err != nil {
-		flushProfiles()
+		shutdown()
 		if f := ghostbusters.AsFault(err); f != nil {
 			fmt.Fprintf(os.Stderr, "gbrun: guest trap: %s\n", f.Kind)
 			fmt.Fprintf(os.Stderr, "gbrun:   %s\n", f.Detail)
@@ -93,40 +103,110 @@ func main() {
 
 	fmt.Printf("exit=%d cycles=%d instret=%d\n", res.Exit.Code, res.Cycles, res.Instret)
 	if *profile {
-		fmt.Println("hottest translated regions:")
-		for i, r := range machine.ProfileReport() {
-			if i >= 10 {
-				break
-			}
-			kind := "block"
-			if r.IsTrace {
-				kind = "trace"
-			}
-			fmt.Printf("  %#010x %-6s %8d dispatches, %3d insts in %3d bundles\n",
-				r.PC, kind, r.Entries, r.GuestInsts, r.Bundles)
-		}
+		printProfile(machine, res.Cycles)
 	}
 	if *stats {
-		s := res.Stats
-		fmt.Printf("interp-insts=%d blocks=%d traces=%d block-execs=%d bundles=%d\n",
-			s.InterpInsts, s.Blocks, s.Traces, s.BlockExecs, s.Bundles)
-		fmt.Printf("spec-loads=%d squashed=%d recoveries=%d side-exits=%d\n",
-			s.SpecLoads, s.SpecSquash, s.Recoveries, s.SideExits)
-		fmt.Printf("patterns=%d risky-loads=%d guard-edges=%d compile-errors=%d\n",
-			s.PatternsFound, s.RiskyLoads, s.GuardEdges, s.CompileErrs)
-		fmt.Printf("traps=%s\n", s.Traps.String())
+		if *jsonOut {
+			out, err := json.MarshalIndent(res.Snapshot(), "", "  ")
+			fail(err)
+			fmt.Println(string(out))
+		} else {
+			s := res.Stats
+			fmt.Printf("interp-insts=%d blocks=%d traces=%d block-execs=%d bundles=%d\n",
+				s.InterpInsts, s.Blocks, s.Traces, s.BlockExecs, s.Bundles)
+			fmt.Printf("spec-loads=%d squashed=%d recoveries=%d side-exits=%d\n",
+				s.SpecLoads, s.SpecSquash, s.Recoveries, s.SideExits)
+			fmt.Printf("patterns=%d risky-loads=%d guard-edges=%d compile-errors=%d\n",
+				s.PatternsFound, s.RiskyLoads, s.GuardEdges, s.CompileErrs)
+			fmt.Printf("traps=%s\n", s.Traps.String())
+		}
 	}
-	// os.Exit skips deferred calls, so profiles are flushed explicitly
-	// before propagating the guest's exit code.
-	flushProfiles()
+	// os.Exit skips deferred calls, so profiles and the trace are flushed
+	// explicitly before propagating the guest's exit code.
+	shutdown()
 	os.Exit(int(res.Exit.Code))
+}
+
+// printProfile ranks the translated regions by the simulated cycles
+// attributed to them, with each region's share of the whole run.
+func printProfile(machine *ghostbusters.Machine, total uint64) {
+	fmt.Println("hottest translated regions (by attributed cycles):")
+	for i, r := range machine.ProfileReport() {
+		if i >= 10 {
+			break
+		}
+		kind := "block"
+		if r.IsTrace {
+			kind = "trace"
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.Cycles) / float64(total)
+		}
+		fmt.Printf("  %#010x %-6s %5.1f%% %10d cycles, %8d dispatches, %3d insts in %3d bundles\n",
+			r.PC, kind, share, r.Cycles, r.Dispatches, r.GuestInsts, r.Bundles)
+	}
+}
+
+// tracer is closed by shutdown() on every exit path; traceFile after it.
+var (
+	tracer    *ghostbusters.Tracer
+	traceFile *os.File
+)
+
+// buildTracer wires the requested sinks. -trace alone records at block
+// granularity (the classic stderr log); -traceout records everything
+// including per-speculative-load events.
+func buildTracer(stderrLog bool, path, format string) *ghostbusters.Tracer {
+	var sinks []ghostbusters.TraceSink
+	level := ghostbusters.TraceOff
+	if stderrLog {
+		sinks = append(sinks, ghostbusters.NewTextSink(os.Stderr))
+		level = ghostbusters.TraceBlock
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		fail(err)
+		traceFile = f
+		sink, err := ghostbusters.TraceSinkFor(format, f)
+		fail(err)
+		sinks = append(sinks, sink)
+		level = ghostbusters.TraceSpec
+	}
+	switch len(sinks) {
+	case 0:
+		return nil
+	case 1:
+		tracer = ghostbusters.NewTracer(level, sinks[0])
+	default:
+		tracer = ghostbusters.NewTracer(level, ghostbusters.NewTraceMultiSink(sinks...))
+	}
+	return tracer
 }
 
 func fail(err error) {
 	if err != nil {
-		flushProfiles()
+		shutdown()
 		fmt.Fprintln(os.Stderr, "gbrun:", err)
 		os.Exit(1)
+	}
+}
+
+// shutdown flushes every buffered output exactly once: pprof profiles,
+// the trace sink chain, and the trace file itself.
+func shutdown() {
+	flushProfiles()
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gbrun: trace:", err)
+		}
+		tracer = nil
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gbrun: trace:", err)
+		}
+		traceFile = nil
 	}
 }
 

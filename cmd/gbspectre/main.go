@@ -3,9 +3,14 @@
 //
 //	gbspectre [-variant v1|v4] [-mode unsafe|ghostbusters|fence|nospec]
 //	          [-secret hexbytes] [-protect] [-lineflush]
+//	          [-traceout file] [-trace-format text|jsonl|perfetto]
 //
 // With no flags it runs both variants under every mitigation mode (the
-// Section V-A matrix).
+// Section V-A matrix). -traceout captures the attack's full event
+// stream — block dispatches, speculative loads and squashes, cache
+// flushes — timed in simulated cycles; with -trace-format perfetto the
+// file loads directly in ui.perfetto.dev, making the transient window
+// of the attack visible on a timeline.
 package main
 
 import (
@@ -23,11 +28,16 @@ func main() {
 	secretHex := flag.String("secret", "", "secret bytes in hex (empty = random)")
 	protect := flag.Bool("protect", false, "read-protect the secret region")
 	lineflush := flag.Bool("lineflush", false, "line-by-line cache flush (paper's RISC-V variant)")
+	traceOut := flag.String("traceout", "", "write the attack's trace event stream to this file")
+	traceFormat := flag.String("trace-format", "perfetto", "trace file format: text | jsonl | perfetto")
 	flag.Parse()
 
 	cfg := ghostbusters.DefaultConfig()
 
 	if *variant == "" {
+		if *traceOut != "" {
+			fail(fmt.Errorf("-traceout needs a single run: pick a -variant"))
+		}
 		table, err := ghostbusters.RunPoCMatrix(cfg)
 		fail(err)
 		fmt.Print(table)
@@ -56,7 +66,27 @@ func main() {
 		params.Secret = b
 	}
 
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		fail(err)
+		traceFile = f
+		sink, err := ghostbusters.TraceSinkFor(*traceFormat, f)
+		fail(err)
+		cfg.Tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, sink)
+	}
+
 	res, err := ghostbusters.RunAttack(v, ghostbusters.WithMitigation(cfg, m), params)
+	if cfg.Tracer != nil {
+		// Flush even when the attack errored, so a partial trace of the
+		// failing run survives for inspection.
+		if cerr := cfg.Tracer.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gbspectre: trace:", cerr)
+		}
+		if cerr := traceFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gbspectre: trace:", cerr)
+		}
+	}
 	fail(err)
 	fmt.Printf("%s under %s\n", res.Variant, m)
 	fmt.Printf("  secret:    %x\n", res.Secret)

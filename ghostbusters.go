@@ -30,10 +30,13 @@
 package ghostbusters
 
 import (
+	"io"
+
 	"ghostbusters/internal/attack"
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/harness"
+	"ghostbusters/internal/obs"
 	"ghostbusters/internal/polybench"
 	"ghostbusters/internal/riscv"
 	"ghostbusters/internal/trap"
@@ -116,6 +119,47 @@ type FaultInject = dbt.FaultInject
 // Stats aggregates machine counters (speculation, recoveries, detected
 // Spectre patterns, ...).
 type Stats = dbt.Stats
+
+// Tracer is the observability layer's event collector. A nil Tracer (or
+// an unset Config.Tracer) costs nothing on the simulator's hot paths;
+// an enabled one records typed events — block dispatches, translations,
+// deopts, speculative loads and squashes, cache flushes, traps —
+// timestamped in simulated cycles. Tracers are single-threaded: never
+// share one across parallel Runner cells.
+type Tracer = obs.Tracer
+
+// TraceLevel selects event density: TraceOff, TraceBlock (block
+// granularity) or TraceSpec (adds per-speculative-load events).
+type TraceLevel = obs.Level
+
+// Trace levels, coarsest to finest.
+const (
+	TraceOff   = obs.LevelOff
+	TraceBlock = obs.LevelBlock
+	TraceSpec  = obs.LevelSpec
+)
+
+// TraceSink consumes batches of trace events (text, JSONL, Perfetto).
+type TraceSink = obs.Sink
+
+// NewTracer builds a tracer that forwards events to sink (nil sink:
+// retain the most recent events in a ring, read back with Events).
+func NewTracer(level TraceLevel, sink TraceSink) *Tracer { return obs.New(level, sink) }
+
+// TraceSinkFor resolves a sink by format name: "text", "jsonl", or
+// "perfetto" (alias "chrome").
+func TraceSinkFor(format string, w io.Writer) (TraceSink, error) { return obs.SinkFor(format, w) }
+
+// NewTextSink returns the human-readable line sink (the gbrun -trace
+// format).
+func NewTextSink(w io.Writer) TraceSink { return obs.NewTextSink(w) }
+
+// NewTraceMultiSink fans events out to several sinks.
+func NewTraceMultiSink(sinks ...TraceSink) TraceSink { return obs.NewMultiSink(sinks...) }
+
+// Snapshot is the flat metrics map with stable names produced from a
+// finished run (Result.Snapshot, gbrun -stats -json, gbbench -perfjson).
+type Snapshot = obs.Snapshot
 
 // Program is an assembled guest image.
 type Program = riscv.Program

@@ -63,6 +63,14 @@ type Cache struct {
 	lines []line // Sets*Ways entries; set s occupies [s*Ways, (s+1)*Ways)
 	stamp uint64
 	stats Stats
+
+	// OnFlush, when non-nil, observes every flush operation after it
+	// completes: the flushed address (line flushes only — 0 for a full
+	// flush), how many lines were actually invalidated, and whether it
+	// was a whole-cache flush. Flushes are the attacker's half of the
+	// cache side channel, so the observability layer hooks here; the
+	// hook stays off the Access hot path entirely.
+	OnFlush func(addr uint64, lines int, all bool)
 }
 
 // New builds a cache from cfg, rejecting invalid configurations with an
@@ -139,11 +147,16 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) FlushLine(addr uint64) {
 	set, tag := c.index(addr)
 	ways := c.lines[set*c.cfg.Ways : (set+1)*c.cfg.Ways]
+	flushed := 0
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
 			ways[i] = line{}
 			c.stats.Flushes++
+			flushed++
 		}
+	}
+	if c.OnFlush != nil {
+		c.OnFlush(addr, flushed, false)
 	}
 }
 
@@ -151,11 +164,16 @@ func (c *Cache) FlushLine(addr uint64) {
 // FlushLine, Stats.Flushes counts each line actually invalidated — not
 // one per instruction — so the two flush strategies are comparable.
 func (c *Cache) FlushAll() {
+	flushed := 0
 	for i := range c.lines {
 		if c.lines[i].valid {
 			c.stats.Flushes++
+			flushed++
 		}
 		c.lines[i] = line{}
+	}
+	if c.OnFlush != nil {
+		c.OnFlush(0, flushed, true)
 	}
 }
 

@@ -3,13 +3,14 @@ package dbt
 import (
 	"errors"
 	"fmt"
-	"io"
 	"sort"
+	"time"
 
 	"ghostbusters/internal/bus"
 	"ghostbusters/internal/cache"
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/guestmem"
+	"ghostbusters/internal/obs"
 	"ghostbusters/internal/riscv"
 	"ghostbusters/internal/trap"
 	"ghostbusters/internal/vliw"
@@ -87,10 +88,16 @@ type Config struct {
 	// cycle budget.
 	Interrupt <-chan struct{}
 
-	// Trace, when non-nil, receives one line per translated-block
-	// dispatch and per interpreted control transfer (debugging aid used
-	// by gbrun -trace).
-	Trace io.Writer
+	// Tracer, when non-nil, receives typed trace events for the whole
+	// run — translation, block dispatch, interp transitions,
+	// speculation, cache flushes, traps — timestamped in simulated
+	// cycles (see internal/obs). The tracer level selects density:
+	// obs.LevelBlock for block-granularity events, obs.LevelSpec to add
+	// per-speculative-load issue/squash/recovery events. A nil tracer
+	// costs nothing on the hot paths (pinned at 0 allocs/op by tests).
+	// Tracers are single-threaded: never share one across the parallel
+	// cells of an experiment Runner.
+	Tracer *obs.Tracer
 
 	// VerifyEncoding round-trips every translated block through the
 	// binary VLIW encoding and executes the decoded form — an integrity
@@ -147,6 +154,17 @@ type Stats struct {
 	// survivable ones (injected translation failures the machine rode
 	// out by staying in the interpreter) and the terminal one, if any.
 	Traps trap.Counts
+
+	// Instret is the total guest instructions retired (interpreted plus
+	// translated), duplicated from Result.Instret so Stats alone can
+	// produce a complete metrics Snapshot.
+	Instret uint64
+
+	// Cache and Pred capture the memory-system and interpreter
+	// side-table counters at run end, so the unified Snapshot covers
+	// every subsystem from one value.
+	Cache cache.Stats
+	Pred  riscv.PredecodeStats
 }
 
 // Result reports a finished guest run.
@@ -165,6 +183,24 @@ type transEntry struct {
 	execs     uint64
 	recov     uint64
 	noMemSpec bool
+
+	// Cycle-attributed profile, maintained on every dispatch (cheap:
+	// a handful of counter subtractions against the core's totals).
+	// Retranslation (deopt) replaces the entry and restarts the
+	// counters — the profile describes the code currently installed.
+	cycles    uint64 // simulated cycles spent inside this region
+	bundles   uint64 // bundles executed
+	sideExits uint64
+	specLoads uint64
+	squashes  uint64
+
+	// Static mitigation report and host-side translation latency,
+	// recorded at translation time.
+	staticSpecLoads int
+	riskyLoads      int
+	guardEdges      int
+	pattern         bool
+	transNS         int64
 }
 
 type brStat struct{ taken, total uint64 }
@@ -193,6 +229,12 @@ type Machine struct {
 	noTrans  map[uint64]struct{}
 
 	inj *injector
+
+	// tr is the observability tracer (nil when tracing is off);
+	// wasTrans tracks the last dispatch mode so translated→interpreter
+	// transitions can be traced.
+	tr       *obs.Tracer
+	wasTrans bool
 
 	stats Stats
 }
@@ -234,6 +276,22 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.FaultInject.enabled() {
 		m.inj = newInjector(*cfg.FaultInject)
 		m.b.OnAccess = m.inj.busHook(m)
+	}
+	if cfg.Tracer.BlockOn() {
+		m.tr = cfg.Tracer
+		m.core.Tracer = cfg.Tracer
+		// Cache flushes (the attacker's half of the side channel) are
+		// observed at the cache itself; the closure supplies the cycle
+		// timestamp the cache cannot know. m.cycles is live even inside
+		// translated blocks: the core advances it through a pointer.
+		m.b.DC.OnFlush = func(addr uint64, lines int, all bool) {
+			var allArg uint64
+			if all {
+				allArg = 1
+			}
+			m.tr.Emit(obs.Event{Kind: obs.EvCacheFlush, Cycle: m.cycles,
+				Arg1: uint64(lines), Arg2: allArg, Arg3: addr})
+		}
 	}
 	return m, nil
 }
@@ -350,6 +408,9 @@ func (m *Machine) transFail(pc uint64, injected bool, cause error) {
 	f.Cycle = m.cycles
 	f.Injected = injected
 	m.stats.Traps.Record(f.Kind)
+	if m.tr.BlockOn() {
+		m.tr.Emit(obs.Event{Kind: obs.EvTranslateFail, Cycle: m.cycles, PC: pc, Str: f.Detail})
+	}
 	if !injected {
 		m.noTrans[pc] = struct{}{}
 	}
@@ -360,6 +421,15 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		m.transFail(pc, true, nil)
 		return
 	}
+	tron := m.tr.BlockOn()
+	if tron {
+		var tr uint64
+		if asTrace {
+			tr = 1
+		}
+		m.tr.Emit(obs.Event{Kind: obs.EvTranslateStart, Cycle: m.cycles, PC: pc, Arg1: tr})
+	}
+	t0 := time.Now() // host latency; never charged to the guest clock
 	lim := translateLimits{MaxInsts: m.cfg.MaxTraceInsts, MaxUnroll: m.cfg.MaxUnroll}
 	var orc branchOracle
 	if asTrace {
@@ -395,7 +465,14 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		}
 		blk = decoded // execute the decoded form: the encoding is live
 	}
-	m.trans[pc] = &transEntry{blk: blk, isTrace: asTrace, noMemSpec: noMemSpec}
+	m.trans[pc] = &transEntry{
+		blk: blk, isTrace: asTrace, noMemSpec: noMemSpec,
+		staticSpecLoads: res.Report.SpeculativeLoads,
+		riskyLoads:      len(res.Report.RiskyLoads),
+		guardEdges:      res.Report.GuardEdges,
+		pattern:         res.Report.PatternFound(),
+		transNS:         time.Since(t0).Nanoseconds(),
+	}
 	if asTrace {
 		m.stats.Traces++
 	} else {
@@ -408,6 +485,20 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 	m.stats.RiskyLoads += len(res.Report.RiskyLoads)
 	m.stats.GuardEdges += res.Report.GuardEdges
 	m.cycles += m.cfg.TranslateCost * uint64(guestInsts)
+	if tron {
+		e := m.trans[pc]
+		kind := "block"
+		if asTrace {
+			kind = "trace"
+		}
+		m.tr.Emit(obs.Event{Kind: obs.EvMitigation, Cycle: m.cycles, PC: pc,
+			Arg1: uint64(res.Report.SpeculativeLoads),
+			Arg2: uint64(len(res.Report.RiskyLoads)),
+			Arg3: uint64(res.Report.GuardEdges)})
+		m.tr.Emit(obs.Event{Kind: obs.EvTranslateDone, Cycle: m.cycles, PC: pc,
+			Arg1: uint64(blk.GuestInsts), Arg2: uint64(len(blk.Bundles)),
+			Arg3: uint64(e.transNS), Str: kind})
+	}
 }
 
 // ErrInterrupted is returned (wrapped) by Run when the configured
@@ -432,6 +523,10 @@ func (m *Machine) raise(f *trap.Fault, pc uint64) *trap.Fault {
 		f.Cycle = m.cycles
 	}
 	m.stats.Traps.Record(f.Kind)
+	if m.tr.BlockOn() {
+		m.tr.Emit(obs.Event{Kind: obs.EvTrap, Cycle: m.cycles, PC: f.PC,
+			Arg1: f.Addr, Str: f.Kind.String()})
+	}
 	return f
 }
 
@@ -467,33 +562,60 @@ func (m *Machine) Run() (*Result, error) {
 		}
 		pc := m.state.PC
 		if e := m.trans[pc]; e != nil {
-			if m.cfg.Trace != nil {
+			tron := m.tr.BlockOn()
+			if tron {
 				kind := "block"
 				if e.isTrace {
 					kind = "trace"
 				}
-				fmt.Fprintf(m.cfg.Trace, "[%12d] exec %s @%#x (%d insts, %d bundles)\n",
-					m.cycles, kind, pc, e.blk.GuestInsts, len(e.blk.Bundles))
+				m.tr.Emit(obs.Event{Kind: obs.EvBlockEnter, Cycle: m.cycles, PC: pc,
+					Arg1: uint64(e.blk.GuestInsts), Arg2: uint64(len(e.blk.Bundles)), Str: kind})
 			}
+			m.wasTrans = true
+			start := m.cycles
+			csBefore := m.core.Stats
 			copy(m.vregs[:32], m.state.X[:])
-			recovBefore := m.core.Stats.Recoveries
 			ei := m.core.Exec(e.blk, &m.vregs, m.b, &m.cycles)
 			copy(m.state.X[:], m.vregs[:32])
 			m.state.X[0] = 0
 			m.stats.BlockExecs++
+			// Attribute what this dispatch cost to the region (the
+			// -profile ranking): a handful of counter deltas per
+			// dispatch, cheap next to executing the block itself.
+			cs := m.core.Stats
+			e.cycles += m.cycles - start
+			e.bundles += cs.Bundles - csBefore.Bundles
+			e.sideExits += cs.SideExits - csBefore.SideExits
+			e.specLoads += cs.SpecLoads - csBefore.SpecLoads
+			e.squashes += cs.SpecSquash - csBefore.SpecSquash
 			if ei.Fault != nil {
+				if tron {
+					m.tr.Emit(obs.Event{Kind: obs.EvBlockExit, Cycle: m.cycles, PC: pc,
+						Arg1: ei.FaultPC, Arg3: 1})
+				}
 				f := ei.Fault
 				f.Block = pc
 				return nil, m.raise(f, ei.FaultPC)
 			}
+			if tron {
+				var side uint64
+				if ei.SideExit {
+					side = 1
+				}
+				m.tr.Emit(obs.Event{Kind: obs.EvBlockExit, Cycle: m.cycles, PC: pc,
+					Arg1: ei.NextPC, Arg2: side})
+			}
 			e.execs++
-			e.recov += m.core.Stats.Recoveries - recovBefore
+			e.recov += cs.Recoveries - csBefore.Recoveries
 			if m.cfg.AdaptiveRetranslation && !e.noMemSpec &&
 				e.execs >= m.cfg.DeoptWindow &&
 				e.recov*100 >= e.execs*m.cfg.DeoptRatioPct {
 				// Recovery storm: this block's memory speculation loses
 				// more to rollbacks than it gains; retranslate without it
 				// (Transmeta-style adaptive retranslation).
+				if tron {
+					m.tr.Emit(obs.Event{Kind: obs.EvDeopt, Cycle: m.cycles, PC: pc})
+				}
 				m.translateWith(pc, e.isTrace, true)
 				m.stats.Deopts++
 			}
@@ -502,6 +624,12 @@ func (m *Machine) Run() (*Result, error) {
 			continue
 		}
 
+		if m.wasTrans {
+			m.wasTrans = false
+			if m.tr.BlockOn() {
+				m.tr.Emit(obs.Event{Kind: obs.EvInterpEnter, Cycle: m.cycles, PC: pc})
+			}
+		}
 		res := riscv.StepPredecoded(&m.state, m.b, m.cfg.Interp, m.cycles, m.pred)
 		m.cycles += res.Cycles
 		m.stats.InterpInsts++
@@ -512,9 +640,9 @@ func (m *Machine) Run() (*Result, error) {
 			return nil, m.raise(trap.From(res.Event.Err), res.Event.Addr)
 		}
 		if res.IsBranch {
-			if m.cfg.Trace != nil && res.Taken {
-				fmt.Fprintf(m.cfg.Trace, "[%12d] interp %s @%#x -> %#x\n",
-					m.cycles, res.Inst.Op, pc, res.Target)
+			if res.Taken && m.tr.BlockOn() {
+				m.tr.Emit(obs.Event{Kind: obs.EvInterpBranch, Cycle: m.cycles, PC: pc,
+					Arg1: res.Target, Str: res.Inst.Op.String()})
 			}
 			if res.Inst.Op.IsBranch() {
 				st := m.branches[pc]
@@ -542,10 +670,13 @@ func (m *Machine) result(ev riscv.Event) *Result {
 	s.Recoveries = cs.Recoveries
 	s.SpecLoads = cs.SpecLoads
 	s.SpecSquash = cs.SpecSquash
+	s.Instret = m.state.Instret + m.core.Instret
+	s.Cache = m.b.DC.Stats()
+	s.Pred = m.pred.Stats()
 	return &Result{
 		Exit:    ev,
 		Cycles:  m.cycles,
-		Instret: m.state.Instret + m.core.Instret,
+		Instret: s.Instret,
 		Stats:   s,
 	}
 }
@@ -593,34 +724,83 @@ func (m *Machine) DumpIR(pc uint64) (string, error) {
 }
 
 // HotRegion summarises one translated entry point for profiling output.
+// The dynamic counters (Cycles, BundleExecs, ...) are attributed per
+// dispatch, so the report ranks regions by where simulated time
+// actually went rather than by how often they were entered.
 type HotRegion struct {
 	PC         uint64
-	Entries    uint64 // dispatch count
+	Entries    uint64 // profiled entry count (interpreter + dispatch)
+	Dispatches uint64 // translated executions of this region
 	GuestInsts int
-	Bundles    int
+	Bundles    int // static bundle count of the translated code
 	IsTrace    bool
 	Deopted    bool // retranslated without memory speculation
+
+	// Cycle-attributed dynamic profile.
+	Cycles      uint64 // simulated cycles spent inside the region
+	BundleExecs uint64
+	SideExits   uint64
+	SpecLoads   uint64
+	Squashes    uint64
+	Recoveries  uint64
+
+	// Static mitigation report for the installed code.
+	StaticSpecLoads int
+	RiskyLoads      int
+	GuardEdges      int
+	PatternFound    bool
+
+	// TransNS is the host-side translation latency in nanoseconds (a
+	// property of the simulator's DBT engine, not of guest time).
+	TransNS int64
 }
 
-// ProfileReport returns the translated regions sorted by dispatch count,
-// hottest first — the DBT engine's own view of where time goes.
+// ProfileReport returns the translated regions sorted by attributed
+// simulated cycles (hottest first; dispatch count and PC break ties) —
+// the DBT engine's own view of where time goes.
 func (m *Machine) ProfileReport() []HotRegion {
 	out := make([]HotRegion, 0, len(m.trans))
 	for pc, e := range m.trans {
 		out = append(out, HotRegion{
-			PC:         pc,
-			Entries:    m.entries[pc],
-			GuestInsts: e.blk.GuestInsts,
-			Bundles:    len(e.blk.Bundles),
-			IsTrace:    e.isTrace,
-			Deopted:    e.noMemSpec,
+			PC:              pc,
+			Entries:         m.entries[pc],
+			Dispatches:      e.execs,
+			GuestInsts:      e.blk.GuestInsts,
+			Bundles:         len(e.blk.Bundles),
+			IsTrace:         e.isTrace,
+			Deopted:         e.noMemSpec,
+			Cycles:          e.cycles,
+			BundleExecs:     e.bundles,
+			SideExits:       e.sideExits,
+			SpecLoads:       e.specLoads,
+			Squashes:        e.squashes,
+			Recoveries:      e.recov,
+			StaticSpecLoads: e.staticSpecLoads,
+			RiskyLoads:      e.riskyLoads,
+			GuardEdges:      e.guardEdges,
+			PatternFound:    e.pattern,
+			TransNS:         e.transNS,
 		})
 	}
 	sort.Slice(out, func(a, b int) bool {
-		if out[a].Entries != out[b].Entries {
-			return out[a].Entries > out[b].Entries
+		if out[a].Cycles != out[b].Cycles {
+			return out[a].Cycles > out[b].Cycles
+		}
+		if out[a].Dispatches != out[b].Dispatches {
+			return out[a].Dispatches > out[b].Dispatches
 		}
 		return out[a].PC < out[b].PC
 	})
 	return out
+}
+
+// TranslatedPCs returns the entry points that currently have translated
+// code, in ascending order (gbdump address validation, tooling).
+func (m *Machine) TranslatedPCs() []uint64 {
+	pcs := make([]uint64, 0, len(m.trans))
+	for pc := range m.trans {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(a, b int) bool { return pcs[a] < pcs[b] })
+	return pcs
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/obs"
 	"ghostbusters/internal/riscv"
 	"ghostbusters/internal/vliw"
 )
@@ -714,7 +715,7 @@ loop:
 	li a0, 0
 	ecall
 `
-	_, m := runSrc(t, src, DefaultConfig())
+	res, m := runSrc(t, src, DefaultConfig())
 	rep := m.ProfileReport()
 	if len(rep) == 0 {
 		t.Fatal("empty profile")
@@ -722,9 +723,15 @@ loop:
 	if rep[0].Entries == 0 || rep[0].GuestInsts == 0 {
 		t.Fatalf("hottest region empty: %+v", rep[0])
 	}
+	if rep[0].Cycles == 0 || rep[0].Dispatches == 0 {
+		t.Fatalf("hottest region has no attributed cycles: %+v", rep[0])
+	}
+	if rep[0].Cycles > res.Cycles {
+		t.Fatalf("region charged %d cycles, whole run took %d", rep[0].Cycles, res.Cycles)
+	}
 	for i := 1; i < len(rep); i++ {
-		if rep[i].Entries > rep[i-1].Entries {
-			t.Fatal("profile not sorted by hotness")
+		if rep[i].Cycles > rep[i-1].Cycles {
+			t.Fatal("profile not sorted by attributed cycles")
 		}
 	}
 	hasTrace := false
@@ -762,10 +769,11 @@ loop:
 	}
 }
 
-func TestTraceWriterReceivesEvents(t *testing.T) {
-	var buf tracedBuffer
+func TestTracerReceivesEvents(t *testing.T) {
+	var buf strings.Builder
+	tr := obs.New(obs.LevelSpec, obs.NewTextSink(&buf))
 	cfg := DefaultConfig()
-	cfg.Trace = &buf
+	cfg.Tracer = tr
 	src := `
 main:
 	li s1, 0
@@ -777,6 +785,9 @@ loop:
 	ecall
 `
 	runSrc(t, src, cfg)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "interp blt") {
 		t.Errorf("trace missing interpreted branch events:\n%.300s", out)
@@ -784,12 +795,92 @@ loop:
 	if !strings.Contains(out, "exec trace") && !strings.Contains(out, "exec block") {
 		t.Errorf("trace missing dispatch events:\n%.300s", out)
 	}
+	if !strings.Contains(out, "translate") {
+		t.Errorf("trace missing translation events:\n%.300s", out)
+	}
 }
 
-type tracedBuffer struct{ b strings.Builder }
+// Attaching a tracer observes the run without perturbing it: cycles,
+// instret and every counter stay identical to the untraced run.
+func TestTracingDoesNotChangeTiming(t *testing.T) {
+	src := `
+	.data
+buf:	.space 256
+	.text
+main:
+	la s0, buf
+	li s1, 0
+loop:
+	andi t0, s1, 31
+	slli t0, t0, 3
+	add t1, s0, t0
+	sd s1, 0(t1)
+	ld t2, 8(t1)
+	add s2, s2, t2
+	addi s1, s1, 1
+	li t3, 200
+	blt s1, t3, loop
+	andi a0, s2, 0xff
+	ecall
+`
+	plain, _ := runSrc(t, src, DefaultConfig())
+	traced := DefaultConfig()
+	tr := obs.New(obs.LevelSpec, nil)
+	traced.Tracer = tr
+	obsRes, _ := runSrc(t, src, traced)
+	if plain.Cycles != obsRes.Cycles || plain.Instret != obsRes.Instret {
+		t.Fatalf("tracing changed timing: %d/%d vs %d/%d cycles/instret",
+			plain.Cycles, plain.Instret, obsRes.Cycles, obsRes.Instret)
+	}
+	if plain.Stats != obsRes.Stats {
+		t.Fatalf("tracing changed stats:\n%+v\n%+v", plain.Stats, obsRes.Stats)
+	}
+	if len(tr.Events()) == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+}
 
-func (t *tracedBuffer) Write(p []byte) (int, error) { return t.b.Write(p) }
-func (t *tracedBuffer) String() string              { return t.b.String() }
+// Stats.Snapshot flattens the run into the stable metric names shared
+// with gbrun -stats -json and the gbbench perf JSON.
+func TestSnapshotMetrics(t *testing.T) {
+	src := `
+main:
+	li s1, 0
+loop:
+	addi s1, s1, 1
+	li t0, 200
+	blt s1, t0, loop
+	li a0, 0
+	ecall
+`
+	res, _ := runSrc(t, src, DefaultConfig())
+	snap := res.Snapshot()
+	if snap["sim.cycles"] != res.Cycles {
+		t.Fatalf("sim.cycles %d != %d", snap["sim.cycles"], res.Cycles)
+	}
+	if snap["sim.instret"] != res.Instret {
+		t.Fatalf("sim.instret %d != %d", snap["sim.instret"], res.Instret)
+	}
+	if snap["dbt.blocks"] != uint64(res.Stats.Blocks) ||
+		snap["dbt.block_execs"] != res.Stats.BlockExecs ||
+		snap["core.bundles"] != res.Stats.Bundles {
+		t.Fatalf("dbt/core metrics wrong: %+v vs %+v", snap, res.Stats)
+	}
+	if _, ok := snap["cache.hits"]; !ok {
+		t.Fatal("cache metrics missing")
+	}
+	for _, name := range snap.Names() {
+		if strings.Contains(name, " ") || strings.ToLower(name) != name {
+			t.Fatalf("metric name %q not lower-case dot-separated", name)
+		}
+	}
+	// Trap counters appear only when non-zero; a clean run has none.
+	for _, name := range snap.Names() {
+		if strings.HasPrefix(name, "trap.") {
+			t.Fatalf("clean run grew trap counter %s", name)
+		}
+	}
+}
 
 // The simulator is fully deterministic: identical programs produce
 // identical cycle counts and statistics run-to-run (the attack tests and

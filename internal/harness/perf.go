@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/obs"
 )
 
 // PerfSchema identifies the perf-report JSON format. Bump it when the
@@ -19,11 +20,16 @@ const PerfSchema = "ghostbusters/bench/v1"
 // deterministic guest-visible cost — the quantity the regression check
 // compares. HostNS is this machine's wall clock for the same run; it is
 // recorded for trend inspection but never compared across machines.
+// Metrics is the cell's full stable-name snapshot (obs.Snapshot) —
+// informational context for humans and dashboards; CheckPerf compares
+// exactly SimCycles and nothing in Metrics, and baselines written
+// before the field existed still load (it is optional).
 type PerfEntry struct {
-	Benchmark string `json:"benchmark"`
-	Mode      string `json:"mode"`
-	SimCycles uint64 `json:"sim_cycles"`
-	HostNS    int64  `json:"host_ns"`
+	Benchmark string       `json:"benchmark"`
+	Mode      string       `json:"mode"`
+	SimCycles uint64       `json:"sim_cycles"`
+	HostNS    int64        `json:"host_ns"`
+	Metrics   obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // PerfReport is the file format behind gbbench -perfjson / -checkperf.
@@ -33,17 +39,22 @@ type PerfReport struct {
 }
 
 // PerfFromRows flattens measured rows into a report, one entry per
-// (benchmark, mode) in the given order.
+// (benchmark, mode) in the given order. Cells that were tolerated as
+// faulted (no Cycles entry) get no Metrics either.
 func PerfFromRows(rows []*Row, modes []core.Mode) *PerfReport {
 	rep := &PerfReport{Schema: PerfSchema}
 	for _, r := range rows {
 		for _, m := range modes {
-			rep.Entries = append(rep.Entries, PerfEntry{
+			e := PerfEntry{
 				Benchmark: r.Name,
 				Mode:      m.String(),
 				SimCycles: r.Cycles[m],
 				HostNS:    r.HostNS[m],
-			})
+			}
+			if c, ok := r.Cycles[m]; ok {
+				e.Metrics = r.Stats[m].Snapshot(c)
+			}
+			rep.Entries = append(rep.Entries, e)
 		}
 	}
 	return rep

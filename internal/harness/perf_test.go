@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -24,6 +25,11 @@ func TestPerfRoundTrip(t *testing.T) {
 	if len(rep.Entries) != 2 || rep.Entries[0].SimCycles != 1000 || rep.Entries[0].HostNS != 123 {
 		t.Fatalf("entries: %+v", rep.Entries)
 	}
+	// Measured cells embed the full metrics snapshot, consistent with
+	// the headline sim_cycles figure.
+	if rep.Entries[0].Metrics == nil || rep.Entries[0].Metrics["sim.cycles"] != 1000 {
+		t.Fatalf("metrics snapshot missing or inconsistent: %+v", rep.Entries[0].Metrics)
+	}
 
 	path := filepath.Join(t.TempDir(), "perf.json")
 	if err := rep.WriteFile(path); err != nil {
@@ -33,9 +39,32 @@ func TestPerfRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Schema != rep.Schema || len(back.Entries) != 2 ||
-		back.Entries[0] != rep.Entries[0] || back.Entries[1] != rep.Entries[1] {
+	if back.Schema != rep.Schema || len(back.Entries) != 2 {
 		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for i := range back.Entries {
+		g, w := back.Entries[i], rep.Entries[i]
+		if g.Benchmark != w.Benchmark || g.Mode != w.Mode ||
+			g.SimCycles != w.SimCycles || g.HostNS != w.HostNS || !g.Metrics.Equal(w.Metrics) {
+			t.Fatalf("round trip mismatch at entry %d:\n%+v\n%+v", i, g, w)
+		}
+	}
+}
+
+// An old baseline without the metrics field still loads (the field is
+// optional) — the regression check never depends on it.
+func TestReadPerfAcceptsBaselineWithoutMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "perf.json")
+	old := `{"schema":"ghostbusters/bench/v1","entries":[{"benchmark":"gemm","mode":"unsafe","sim_cycles":1000,"host_ns":1}]}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadPerf(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].Metrics != nil {
+		t.Fatalf("unexpected entries: %+v", rep.Entries)
 	}
 }
 

@@ -1,0 +1,40 @@
+package obs
+
+import "sort"
+
+// Snapshot is the unified metrics view of one simulator run: a flat map
+// of stable metric names to counter values. The names form the
+// observability contract — `gbrun -stats -json`, the `metrics` field of
+// gbbench's perf JSON, and any future exporter all spell the same
+// counter the same way. Producers (dbt.Stats.Snapshot) add names; they
+// never rename or repurpose existing ones.
+//
+// Naming convention: dot-separated "<subsystem>.<counter>" in
+// snake_case, e.g. "core.spec_loads", "cache.misses", "trap.<kind>".
+// Zero-valued trap counters are omitted; every other metric is always
+// present so consumers can rely on the key set.
+type Snapshot map[string]uint64
+
+// Names returns the metric names in sorted order (stable iteration for
+// renderers and tests).
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for k := range s {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Equal reports whether two snapshots carry identical metrics.
+func (s Snapshot) Equal(o Snapshot) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, v := range s {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}

@@ -2,6 +2,7 @@ package vliw
 
 import (
 	"ghostbusters/internal/bus"
+	"ghostbusters/internal/obs"
 	"ghostbusters/internal/riscv"
 	"ghostbusters/internal/trap"
 )
@@ -39,6 +40,12 @@ type Core struct {
 	Cfg   Config
 	MCB   MCB
 	Stats Stats
+
+	// Tracer, when non-nil, receives speculation- and exit-level trace
+	// events timed in machine cycles (spec-load issue/squash, MCB
+	// recovery, side exits). A nil tracer costs one predictable branch
+	// per candidate event; the dbt machine wires Config.Tracer here.
+	Tracer *obs.Tracer
 
 	// Instret counts guest instructions retired by translated code.
 	Instret uint64
@@ -161,7 +168,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 		scr.reset()
 
 		exitTaken := false
-		var exitTo uint64
+		var exitTo, exitPC uint64
 		var nextPC uint64
 		haveNext := false
 
@@ -220,6 +227,12 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 				if squashed {
 					c.Stats.SpecSquash++
 				}
+				if c.Tracer.SpecOn() {
+					c.Tracer.Emit(obs.Event{Kind: obs.EvSpecLoad, Cycle: *cycles, PC: sy.GuestPC, Arg1: addr})
+					if squashed {
+						c.Tracer.Emit(obs.Event{Kind: obs.EvSpecSquash, Cycle: *cycles, PC: sy.GuestPC, Arg1: addr})
+					}
+				}
 				if sy.Kind == KLoadS {
 					if err := c.MCB.Insert(sy.Tag, addr, sy.Op.MemSize(), squashed); err != nil {
 						return fault(err, sy.GuestPC)
@@ -264,6 +277,7 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 				if riscv.EvalBranch(sy.Op, read(sy.Ra), read(sy.Rb)) {
 					exitTaken = true
 					exitTo = uint64(sy.Imm)
+					exitPC = sy.GuestPC
 				}
 
 			case KJump:
@@ -322,6 +336,13 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 			}
 			c.Stats.Recoveries++
 			*cycles += c.Cfg.RecoveryPenalty
+			if c.Tracer.SpecOn() {
+				var rpc uint64
+				if seq := blk.Recoveries[rec]; len(seq) > 0 {
+					rpc = seq[0].GuestPC
+				}
+				c.Tracer.Emit(obs.Event{Kind: obs.EvRecovery, Cycle: *cycles, PC: rpc, Arg1: uint64(rec)})
+			}
 			if ei := c.execRecovery(blk.Recoveries[rec], regs, &poisoned, b, cycles); ei != nil {
 				return *ei
 			}
@@ -330,6 +351,9 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 		if exitTaken {
 			*cycles += c.Cfg.ExitPenalty
 			c.Stats.SideExits++
+			if c.Tracer.BlockOn() {
+				c.Tracer.Emit(obs.Event{Kind: obs.EvSideExit, Cycle: *cycles, PC: exitPC, Arg1: exitTo})
+			}
 			c.MCB.Reset()
 			c.Instret += uint64(blk.GuestInsts) // approximate retirement
 			return ExitInfo{NextPC: exitTo, SideExit: true}

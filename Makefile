@@ -7,11 +7,13 @@
 #   make fig4    print the Figure 4 table (parallel harness)
 #   make perf    record the Figure 4 perf JSON (BENCH_fig4.json schema)
 #   make trace   capture a Perfetto trace of the Spectre v1 PoC
+#   make trace-v4  same for Spectre v4 (MCB rollbacks on the timeline)
+#   make audit   run the v1 PoC with the leakage audit layer on
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf trace
+.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf trace trace-v4 audit
 
 build:
 	$(GO) build ./...
@@ -66,3 +68,18 @@ perf:
 trace:
 	$(GO) run ./cmd/gbspectre -variant v1 -traceout trace_v1.json -trace-format perfetto
 	@echo "wrote trace_v1.json — open it at https://ui.perfetto.dev"
+
+# Same for the v4 variant: the interesting tracks are the spec-squash /
+# recovery instants (the MCB repairing architectural state every round
+# while the cache still leaks) and the counter tracks — MCB occupancy
+# and the ground-truth leaked-bytes staircase (see EXPERIMENTS.md E1a).
+trace-v4:
+	$(GO) run ./cmd/gbspectre -variant v4 -traceout trace_v4.json -trace-format perfetto
+	@echo "wrote trace_v4.json — open it at https://ui.perfetto.dev"
+
+# Leakage audit of the v1 PoC under the mitigation: the explainability
+# table (why each load was pinned, with its provenance chain) plus the
+# machine-readable document (schema ghostbusters/audit/v1).
+audit:
+	$(GO) run ./cmd/gbspectre -variant v1 -mode ghostbusters -audit -audit-json audit_v1.json
+	@echo "wrote audit_v1.json"

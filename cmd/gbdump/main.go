@@ -2,7 +2,10 @@
 // it runs the program until translation stabilises, then prints the
 // translated VLIW code for each hot region and, optionally, the IR
 // data-flow graph of a block in Graphviz format with the poison
-// analysis overlaid (the paper's Figure 3).
+// analysis overlaid (the paper's Figure 3): poisoned nodes and their
+// data edges in red/blue, pinned accesses highlighted, and — under the
+// ghostbusters mode — the inserted guard edges rendered as dashed red
+// control dependencies.
 //
 //	gbdump [-mode unsafe|ghostbusters|fence|nospec] [-dot addr]
 //	       [-encode] program.s

@@ -3,7 +3,8 @@
 //
 //	gbrun [-mode unsafe|ghostbusters|fence|nospec] [-width 2|4|8]
 //	      [-interp] [-stats] [-json] [-trace] [-traceout file]
-//	      [-trace-format text|jsonl|perfetto] [-profile] program.s
+//	      [-trace-format text|jsonl|perfetto] [-profile]
+//	      [-audit] [-audit-json file] program.s
 //
 // The exit status is the guest's exit code when the guest runs to
 // completion. Failures use distinct codes:
@@ -20,6 +21,14 @@
 // format chosen by -trace-format; "perfetto" produces a Chrome
 // trace-event JSON loadable in ui.perfetto.dev, timed in simulated
 // cycles. The two compose: both sinks see the same stream.
+//
+// -audit turns on the leakage audit layer: the translator records a
+// provenance chain for every load it analyzes (which speculative load
+// poisoned its address, along which data-flow path, under which guard)
+// and gbrun prints the machine-wide explainability table after the run.
+// -audit-json writes the same audit as a stable JSON document (schema
+// ghostbusters/audit/v1); either flag enables collection. Auditing only
+// costs translation time — the generated code is identical.
 //
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (host-side performance, not guest cycles).
@@ -51,6 +60,8 @@ func main() {
 	traceOut := flag.String("traceout", "", "write the trace event stream to this file")
 	traceFormat := flag.String("trace-format", "perfetto", "trace file format: text | jsonl | perfetto")
 	profile := flag.Bool("profile", false, "print the hottest translated regions by attributed cycles")
+	audit := flag.Bool("audit", false, "collect poison provenance and print the audit table")
+	auditJSON := flag.String("audit-json", "", "write the audit as JSON (schema ghostbusters/audit/v1) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -78,6 +89,7 @@ func main() {
 		fail(fmt.Errorf("unsupported width %d", *width))
 	}
 	cfg.DisableTranslation = *interp
+	cfg.Audit = *audit || *auditJSON != ""
 	cfg.Tracer = buildTracer(*trace, *traceOut, *traceFormat)
 
 	prog, err := ghostbusters.Assemble(string(src))
@@ -105,6 +117,9 @@ func main() {
 	if *profile {
 		printProfile(machine, res.Cycles)
 	}
+	if cfg.Audit {
+		writeAudit(machine.Audit(), *audit, *auditJSON)
+	}
 	if *stats {
 		if *jsonOut {
 			out, err := json.MarshalIndent(res.Snapshot(), "", "  ")
@@ -125,6 +140,22 @@ func main() {
 	// explicitly before propagating the guest's exit code.
 	shutdown()
 	os.Exit(int(res.Exit.Code))
+}
+
+// writeAudit prints the explainability table and/or writes the JSON
+// document for a collected machine-wide audit.
+func writeAudit(aud *ghostbusters.Audit, table bool, jsonPath string) {
+	if aud == nil {
+		fail(fmt.Errorf("audit requested but none collected"))
+	}
+	if table {
+		fmt.Print(aud.Format())
+	}
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(aud.Doc(), "", "  ")
+		fail(err)
+		fail(os.WriteFile(jsonPath, append(out, '\n'), 0o644))
+	}
 }
 
 // printProfile ranks the translated regions by the simulated cycles

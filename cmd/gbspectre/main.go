@@ -4,6 +4,7 @@
 //	gbspectre [-variant v1|v4] [-mode unsafe|ghostbusters|fence|nospec]
 //	          [-secret hexbytes] [-protect] [-lineflush]
 //	          [-traceout file] [-trace-format text|jsonl|perfetto]
+//	          [-stats] [-json] [-audit] [-audit-json file]
 //
 // With no flags it runs both variants under every mitigation mode (the
 // Section V-A matrix). -traceout captures the attack's full event
@@ -11,13 +12,28 @@
 // flushes — timed in simulated cycles; with -trace-format perfetto the
 // file loads directly in ui.perfetto.dev, making the transient window
 // of the attack visible on a timeline.
+//
+// Every single-variant run prints the side-channel scoreboard: the
+// ground truth of which secret-dependent cache lines the victim
+// speculatively filled (bits leaked into the microarchitectural
+// domain), alongside what the attacker's timing loop recovered. -stats
+// prints the machine's counters; with -json the metrics snapshot is
+// emitted in the same format as `gbrun -stats -json`, extended with the
+// attack.* scoreboard metrics.
+//
+// -audit / -audit-json collect the poison-provenance audit during the
+// attack and print the explainability table / write the JSON document
+// (schema ghostbusters/audit/v1) — the mitigation explaining exactly
+// which loads of the victim it pinned and why.
 package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ghostbusters"
 )
@@ -30,13 +46,22 @@ func main() {
 	lineflush := flag.Bool("lineflush", false, "line-by-line cache flush (paper's RISC-V variant)")
 	traceOut := flag.String("traceout", "", "write the attack's trace event stream to this file")
 	traceFormat := flag.String("trace-format", "perfetto", "trace file format: text | jsonl | perfetto")
+	stats := flag.Bool("stats", false, "print machine statistics after the attack")
+	jsonOut := flag.Bool("json", false, "with -stats, print the metrics snapshot (machine + attack.*) as JSON")
+	audit := flag.Bool("audit", false, "collect poison provenance and print the audit table")
+	auditJSON := flag.String("audit-json", "", "write the audit as JSON (schema ghostbusters/audit/v1) to this file")
 	flag.Parse()
 
 	cfg := ghostbusters.DefaultConfig()
 
 	if *variant == "" {
-		if *traceOut != "" {
-			fail(fmt.Errorf("-traceout needs a single run: pick a -variant"))
+		for flagName, set := range map[string]bool{
+			"-traceout": *traceOut != "", "-stats": *stats,
+			"-audit": *audit, "-audit-json": *auditJSON != "",
+		} {
+			if set {
+				fail(fmt.Errorf("%s needs a single run: pick a -variant", flagName))
+			}
 		}
 		table, err := ghostbusters.RunPoCMatrix(cfg)
 		fail(err)
@@ -75,6 +100,7 @@ func main() {
 		fail(err)
 		cfg.Tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, sink)
 	}
+	cfg.Audit = *audit || *auditJSON != ""
 
 	res, err := ghostbusters.RunAttack(v, ghostbusters.WithMitigation(cfg, m), params)
 	if cfg.Tracer != nil {
@@ -99,6 +125,48 @@ func main() {
 	} else {
 		fmt.Println("  => the attack FAILED")
 	}
+	fmt.Println("side-channel scoreboard:")
+	fmt.Print(indent(res.Leakage.String()))
+	if *audit || *auditJSON != "" {
+		if res.Audit == nil {
+			fail(fmt.Errorf("audit requested but none collected"))
+		}
+		if *audit {
+			fmt.Print(res.Audit.Format())
+		}
+		if *auditJSON != "" {
+			out, err := json.MarshalIndent(res.Audit.Doc(), "", "  ")
+			fail(err)
+			fail(os.WriteFile(*auditJSON, append(out, '\n'), 0o644))
+		}
+	}
+	if *stats {
+		snap := res.Stats.Snapshot(res.Cycles)
+		res.Leakage.AddMetrics(snap)
+		if *jsonOut {
+			out, err := json.MarshalIndent(snap, "", "  ")
+			fail(err)
+			fmt.Println(string(out))
+		} else {
+			s := res.Stats
+			fmt.Printf("interp-insts=%d blocks=%d traces=%d block-execs=%d bundles=%d\n",
+				s.InterpInsts, s.Blocks, s.Traces, s.BlockExecs, s.Bundles)
+			fmt.Printf("spec-loads=%d squashed=%d recoveries=%d side-exits=%d\n",
+				s.SpecLoads, s.SpecSquash, s.Recoveries, s.SideExits)
+			fmt.Printf("patterns=%d risky-loads=%d guard-edges=%d compile-errors=%d\n",
+				s.PatternsFound, s.RiskyLoads, s.GuardEdges, s.CompileErrs)
+		}
+	}
+}
+
+// indent prefixes every line with two spaces, matching the rest of the
+// report.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func fail(err error) {

@@ -120,6 +120,20 @@ type FaultInject = dbt.FaultInject
 // Spectre patterns, ...).
 type Stats = dbt.Stats
 
+// Audit is the machine-wide poison-provenance audit: for every region
+// installed in the translation cache, which loads were analyzed, which
+// were found risky and pinned, and the full provenance chain (source
+// speculative load → data-flow path → guard) explaining each decision.
+// Collected only when Config.Audit is set; read with Machine.Audit.
+type Audit = dbt.Audit
+
+// AuditDoc is the audit's stable JSON document (schema AuditSchema),
+// written by gbrun -audit-json and gbspectre -audit-json.
+type AuditDoc = dbt.AuditDoc
+
+// AuditSchema identifies the audit JSON document format.
+const AuditSchema = dbt.AuditSchema
+
 // Tracer is the observability layer's event collector. A nil Tracer (or
 // an unset Config.Tracer) costs nothing on the simulator's hot paths;
 // an enabled one records typed events — block dispatches, translations,
@@ -188,6 +202,12 @@ const (
 
 // AttackResult reports how much of the secret leaked.
 type AttackResult = attack.Result
+
+// AttackLeakage is the side-channel scoreboard attached to every
+// AttackResult: the ground truth of which secret-dependent cache lines
+// the victim speculatively filled, separate from what the attacker's
+// timing loop recovered.
+type AttackLeakage = attack.Leakage
 
 // RunAttack executes a Spectre proof of concept under cfg and reports
 // the recovered secret.

@@ -23,7 +23,6 @@
 package attack
 
 import (
-	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -82,6 +81,13 @@ type Result struct {
 	BytesCorrect int
 	Cycles       uint64
 	Stats        dbt.Stats
+	// Leakage is the ground-truth side-channel scoreboard: which
+	// secret-dependent lines the victim actually pushed into the cache,
+	// independent of whether the attacker's timing loop recovered them.
+	Leakage *Leakage
+	// Audit is the machine-wide provenance audit, non-nil only when the
+	// run's dbt.Config had Audit set.
+	Audit *dbt.Audit
 }
 
 // Success reports full secret recovery.
@@ -141,6 +147,11 @@ func Run(v Variant, cfg dbt.Config, params Params) (*Result, error) {
 	if err := m.Load(prog); err != nil {
 		return nil, err
 	}
+	sb, err := newScoreboard(prog, p.Secret, cfg.Tracer)
+	if err != nil {
+		return nil, err
+	}
+	sb.attach(m)
 	if p.ProtectSecret {
 		sec, ok := prog.Symbol("secret")
 		if !ok {
@@ -169,13 +180,10 @@ func Run(v Variant, cfg dbt.Config, params Params) (*Result, error) {
 		Recovered: rec,
 		Cycles:    res.Cycles,
 		Stats:     res.Stats,
+		Leakage:   sb.finish(rec),
+		Audit:     m.Audit(),
 	}
-	for i := range p.Secret {
-		if rec[i] == p.Secret[i] {
-			out.BytesCorrect++
-		}
-	}
-	_ = bytes.Equal // keep bytes import for clarity of intent
+	out.BytesCorrect = out.Leakage.BytesCorrect
 	return out, nil
 }
 

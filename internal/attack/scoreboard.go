@@ -1,0 +1,236 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/obs"
+	"ghostbusters/internal/riscv"
+)
+
+// Probe-array geometry shared by both guest programs: 256 candidate
+// byte values, one 128-byte-spaced slot each (two cache lines apart, so
+// adjacent candidates never share a line).
+const (
+	probeStride = 128
+	probeSlots  = 256
+)
+
+// Scoreboard is the side channel's ground-truth observer. It watches
+// the machine's memory system from the host side — it cannot influence
+// timing — and records which probe-array lines the victim actually
+// touched speculatively versus which lines anything touched
+// architecturally. That separates what *information entered the cache*
+// (the leak the mitigation must prevent) from what the attacker's
+// timing loop managed to *recover* (which can fail for boring reasons:
+// noise, thresholds, eviction). A mitigation is judged on the former.
+//
+// Speculative touches are attributed by guest PC and counted only when
+// they come from the victim gadget itself; the attacker's own probe
+// loads (which also hit the probe array, architecturally or even
+// speculatively once the probe loop is translated) never score.
+type Scoreboard struct {
+	secret    []byte
+	probeLo   uint64 // arrayVal
+	probeHi   uint64
+	victimLo  uint64 // the victim gadget's guest-PC range
+	victimHi  uint64
+	tracer    *obs.Tracer
+	specLine  [probeSlots]bool // victim speculatively filled this slot's line
+	archLine  [probeSlots]bool // anything architecturally touched this slot
+	leakedNow int              // running leaked-byte count for the counter track
+
+	// SpecTouches counts victim speculative loads of the probe array;
+	// ArchTouches counts architectural probe-array loads (mostly the
+	// attacker's timing probes).
+	SpecTouches uint64
+	ArchTouches uint64
+}
+
+// newScoreboard resolves the guest symbols the observer needs. Both
+// attack programs lay the gadget out the same way: `arrayVal` is the
+// probe array and `victim` is the last text routine, so the gadget
+// spans [victim, end-of-text).
+func newScoreboard(prog *riscv.Program, secret []byte, tr *obs.Tracer) (*Scoreboard, error) {
+	probe, ok := prog.Symbol("arrayVal")
+	if !ok {
+		return nil, fmt.Errorf("attack: guest defines no arrayVal symbol")
+	}
+	victim, ok := prog.Symbol("victim")
+	if !ok {
+		return nil, fmt.Errorf("attack: guest defines no victim symbol")
+	}
+	return &Scoreboard{
+		secret:   secret,
+		probeLo:  probe,
+		probeHi:  probe + probeStride*probeSlots,
+		victimLo: victim,
+		victimHi: prog.TextBase + uint64(4*len(prog.Text)),
+		tracer:   tr,
+	}, nil
+}
+
+// attach installs the observer on the machine's bus, chaining any hook
+// already present so it keeps observing.
+func (s *Scoreboard) attach(m *dbt.Machine) {
+	b := m.Bus()
+	prevLoad := b.OnLoad
+	b.OnLoad = func(addr uint64) {
+		if prevLoad != nil {
+			prevLoad(addr)
+		}
+		if addr < s.probeLo || addr >= s.probeHi {
+			return
+		}
+		s.ArchTouches++
+		s.archLine[(addr-s.probeLo)/probeStride] = true
+	}
+	prevSpec := b.OnSpecLoad
+	b.OnSpecLoad = func(pc, addr, cycle uint64) {
+		if prevSpec != nil {
+			prevSpec(pc, addr, cycle)
+		}
+		if pc < s.victimLo || pc >= s.victimHi {
+			return
+		}
+		if addr < s.probeLo || addr >= s.probeHi {
+			return
+		}
+		s.SpecTouches++
+		slot := (addr - s.probeLo) / probeStride
+		if s.specLine[slot] {
+			return
+		}
+		s.specLine[slot] = true
+		if n := s.countLeaked(); n != s.leakedNow {
+			s.leakedNow = n
+			if s.tracer.SpecOn() {
+				s.tracer.Emit(obs.Event{Kind: obs.EvCounter, Cycle: cycle,
+					Arg1: uint64(n), Str: obs.CtrLeakedBytes})
+			}
+		}
+	}
+}
+
+// countLeaked counts secret bytes whose probe line the victim has
+// speculatively filled so far.
+func (s *Scoreboard) countLeaked() int {
+	n := 0
+	for _, b := range s.secret {
+		if s.specLine[b] {
+			n++
+		}
+	}
+	return n
+}
+
+// ByteVerdict is the scoreboard's judgment on one secret byte.
+type ByteVerdict struct {
+	Index int
+	Value byte
+	// Leaked is the ground truth: the victim speculatively filled the
+	// cache line indexed by this byte's value, so the information left
+	// the architectural domain regardless of whether the attacker's
+	// timing loop noticed.
+	Leaked bool
+	// Correct reports whether the attacker's recovered byte matched.
+	Correct bool
+}
+
+// Leakage is the scoreboard's summary for one attack run.
+type Leakage struct {
+	SecretBytes int
+	// LeakedBytes and BitsLeaked are ground truth (speculative fills);
+	// BytesCorrect is the attacker's recovery accuracy. BitsLeaked is
+	// simply 8 bits per leaked byte: once the line is in the cache the
+	// whole byte value is encoded in *which* line it is.
+	LeakedBytes  int
+	BitsLeaked   int
+	BytesCorrect int
+	// Distinct probe-array lines touched speculatively by the victim /
+	// architecturally by anyone, plus the raw touch counts.
+	SpecLines   int
+	ArchLines   int
+	SpecTouches uint64
+	ArchTouches uint64
+	Verdicts    []ByteVerdict
+}
+
+// finish scores the run: ground truth from the observed speculative
+// fills, accuracy from the attacker's recovered bytes.
+func (s *Scoreboard) finish(recovered []byte) *Leakage {
+	l := &Leakage{
+		SecretBytes: len(s.secret),
+		SpecTouches: s.SpecTouches,
+		ArchTouches: s.ArchTouches,
+	}
+	for _, t := range s.specLine {
+		if t {
+			l.SpecLines++
+		}
+	}
+	for _, t := range s.archLine {
+		if t {
+			l.ArchLines++
+		}
+	}
+	for i, b := range s.secret {
+		v := ByteVerdict{Index: i, Value: b, Leaked: s.specLine[b]}
+		if i < len(recovered) && recovered[i] == b {
+			v.Correct = true
+		}
+		if v.Leaked {
+			l.LeakedBytes++
+		}
+		if v.Correct {
+			l.BytesCorrect++
+		}
+		l.Verdicts = append(l.Verdicts, v)
+	}
+	l.BitsLeaked = 8 * l.LeakedBytes
+	return l
+}
+
+// Accuracy is the per-trial recovery accuracy in [0, 1]: the fraction
+// of secret bytes the attacker's timing loop got right.
+func (l *Leakage) Accuracy() float64 {
+	if l.SecretBytes == 0 {
+		return 0
+	}
+	return float64(l.BytesCorrect) / float64(l.SecretBytes)
+}
+
+// AddMetrics merges the scoreboard into a unified metrics snapshot
+// under the stable attack.* names (same contract as dbt.Stats.Snapshot:
+// never rename, only add).
+func (l *Leakage) AddMetrics(s obs.Snapshot) {
+	s["attack.secret_bytes"] = uint64(l.SecretBytes)
+	s["attack.leaked_bytes"] = uint64(l.LeakedBytes)
+	s["attack.bits_leaked"] = uint64(l.BitsLeaked)
+	s["attack.bytes_correct"] = uint64(l.BytesCorrect)
+	s["attack.spec_lines"] = uint64(l.SpecLines)
+	s["attack.arch_lines"] = uint64(l.ArchLines)
+	s["attack.spec_touches"] = l.SpecTouches
+	s["attack.arch_touches"] = l.ArchTouches
+}
+
+func (l *Leakage) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ground truth: %d/%d bytes leaked into the cache (%d bits); attacker recovered %d (accuracy %.0f%%)\n",
+		l.LeakedBytes, l.SecretBytes, l.BitsLeaked, l.BytesCorrect, 100*l.Accuracy())
+	fmt.Fprintf(&sb, "probe lines: %d speculative (victim), %d architectural; touches: %d spec, %d arch\n",
+		l.SpecLines, l.ArchLines, l.SpecTouches, l.ArchTouches)
+	for _, v := range l.Verdicts {
+		leak := "contained"
+		if v.Leaked {
+			leak = "LEAKED"
+		}
+		rec := "missed"
+		if v.Correct {
+			rec = "recovered"
+		}
+		fmt.Fprintf(&sb, "  byte %d (0x%02x): %s, %s\n", v.Index, v.Value, leak, rec)
+	}
+	return sb.String()
+}

@@ -1,0 +1,172 @@
+package attack
+
+import (
+	"testing"
+
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/obs"
+)
+
+// The acceptance criterion: under the unsafe baseline the ground-truth
+// scoreboard reports the entire secret entering the cache (8 bits per
+// byte), for both variants.
+func TestScoreboardGroundTruthUnsafe(t *testing.T) {
+	secret := []byte{0x42, 0xA7, 0x19}
+	for _, v := range []Variant{V1, V4} {
+		res, err := Run(v, cfgWithMode(core.ModeUnsafe), Params{Secret: secret})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := res.Leakage
+		if l == nil {
+			t.Fatalf("%s: no scoreboard", v)
+		}
+		if l.BitsLeaked != 8*len(secret) {
+			t.Errorf("%s: ground truth %d bits leaked, want %d", v, l.BitsLeaked, 8*len(secret))
+		}
+		if l.LeakedBytes != len(secret) || l.SecretBytes != len(secret) {
+			t.Errorf("%s: leaked %d/%d bytes", v, l.LeakedBytes, l.SecretBytes)
+		}
+		if l.SpecTouches == 0 {
+			t.Errorf("%s: victim never touched the probe array speculatively", v)
+		}
+		if l.ArchTouches == 0 {
+			t.Errorf("%s: attacker's probes never touched the probe array architecturally", v)
+		}
+		for _, bv := range l.Verdicts {
+			if !bv.Leaked || !bv.Correct {
+				t.Errorf("%s byte %d: leaked=%v correct=%v, want both", v, bv.Index, bv.Leaked, bv.Correct)
+			}
+		}
+		if l.Accuracy() != 1 {
+			t.Errorf("%s: accuracy %v, want 1", v, l.Accuracy())
+		}
+	}
+}
+
+// Under the mitigations the ground truth must be zero bits — not just
+// "the attacker failed to recover", but "no secret-dependent line was
+// ever speculatively filled by the victim".
+func TestScoreboardGroundTruthMitigated(t *testing.T) {
+	secret := []byte{0x42, 0xA7}
+	for _, v := range []Variant{V1, V4} {
+		for _, mode := range []core.Mode{core.ModeGhostBusters, core.ModeFence, core.ModeNoSpeculation} {
+			res, err := Run(v, cfgWithMode(mode), Params{Secret: secret})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", v, mode, err)
+			}
+			l := res.Leakage
+			if l.BitsLeaked != 0 || l.LeakedBytes != 0 {
+				t.Errorf("%s/%s: ground truth says %d bits leaked under mitigation", v, mode, l.BitsLeaked)
+			}
+			if l.Accuracy() != 0 {
+				t.Errorf("%s/%s: attacker accuracy %v under mitigation", v, mode, l.Accuracy())
+			}
+		}
+	}
+}
+
+// The scoreboard distinguishes information-in-the-cache from
+// recovered-by-the-attacker: verdicts carry both judgments.
+func TestScoreboardVerdictsIndependent(t *testing.T) {
+	res, err := Run(V1, cfgWithMode(core.ModeUnsafe), Params{Secret: []byte{0x33}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Leakage.Verdicts); got != 1 {
+		t.Fatalf("verdict count %d", got)
+	}
+	v := res.Leakage.Verdicts[0]
+	if v.Value != 0x33 || v.Index != 0 {
+		t.Fatalf("verdict identity wrong: %+v", v)
+	}
+}
+
+// AddMetrics publishes the stable attack.* names into a snapshot.
+func TestScoreboardMetricsNames(t *testing.T) {
+	res, err := Run(V1, cfgWithMode(core.ModeUnsafe), Params{Secret: []byte{0x42, 0xA7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Stats.Snapshot(res.Cycles)
+	res.Leakage.AddMetrics(snap)
+	for _, name := range []string{
+		"attack.secret_bytes", "attack.leaked_bytes", "attack.bits_leaked",
+		"attack.bytes_correct", "attack.spec_lines", "attack.arch_lines",
+		"attack.spec_touches", "attack.arch_touches",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if snap["attack.bits_leaked"] != 16 || snap["attack.bytes_correct"] != 2 {
+		t.Errorf("metric values wrong: bits=%d correct=%d", snap["attack.bits_leaked"], snap["attack.bytes_correct"])
+	}
+	// The core counters from the machine must still be there: the
+	// scoreboard adds, never replaces.
+	if _, ok := snap["sim.cycles"]; !ok {
+		t.Error("AddMetrics clobbered the machine snapshot")
+	}
+}
+
+// With a spec-level tracer attached, the scoreboard emits the
+// leaked-bytes counter track as the leak progresses.
+func TestScoreboardLeakedBytesCounter(t *testing.T) {
+	tr := obs.New(obs.LevelSpec, nil)
+	cfg := cfgWithMode(core.ModeUnsafe)
+	cfg.Tracer = tr
+	res, err := Run(V1, cfg, Params{Secret: []byte{0x42, 0xA7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Leakage.BitsLeaked != 16 {
+		t.Fatalf("leak did not happen: %d bits", res.Leakage.BitsLeaked)
+	}
+	var last uint64
+	seen := 0
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EvCounter && e.Str == obs.CtrLeakedBytes {
+			seen++
+			if e.Arg1 < last {
+				t.Errorf("leaked-bytes counter regressed: %d after %d", e.Arg1, last)
+			}
+			last = e.Arg1
+		}
+	}
+	// The ring keeps only recent events, so we may not see every step,
+	// but the final value must be present and correct.
+	if seen == 0 {
+		t.Fatal("no leaked-bytes counter events recorded")
+	}
+	if last != 2 {
+		t.Errorf("final leaked-bytes counter %d, want 2", last)
+	}
+}
+
+// Auditing composes with the attack: the run's Result carries the
+// machine-wide provenance audit, and it replays.
+func TestAttackCarriesAudit(t *testing.T) {
+	cfg := cfgWithMode(core.ModeGhostBusters)
+	cfg.Audit = true
+	res, err := Run(V1, cfg, Params{Secret: []byte{0x42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit == nil {
+		t.Fatal("no audit on the result with Config.Audit set")
+	}
+	if err := res.Audit.Verify(); err != nil {
+		t.Fatalf("attack audit replay failed: %v", err)
+	}
+	if res.Audit.Totals().Pinned == 0 {
+		t.Error("victim gadget produced no pinned accesses under ghostbusters")
+	}
+	// Auditing off: no audit retained.
+	res2, err := Run(V1, cfgWithMode(core.ModeGhostBusters), Params{Secret: []byte{0x42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Audit != nil {
+		t.Error("audit present without Config.Audit")
+	}
+}

@@ -31,6 +31,21 @@ type Bus struct {
 	// model transient cache-lookup failures. Speculative loads bypass
 	// the hook: an injected fault there would just be squashed anyway.
 	OnAccess func(addr uint64, size int, store bool) error
+
+	// OnLoad, when non-nil, observes every successful architectural
+	// load after the cache access. The attack scoreboard counts the
+	// probe loop's architectural touches of secret-dependent lines
+	// here. Must be cheap: it runs on the load hot path, and the
+	// disabled (nil) check is pinned at 0 allocs/op.
+	OnLoad func(addr uint64)
+
+	// OnSpecLoad, when non-nil, observes every successful dismissable
+	// (speculative) load. The bus cannot know the issuing guest PC or
+	// the cycle, so the VLIW core — the only producer of speculative
+	// loads — invokes the hook itself with that context; it is
+	// declared here because the scoreboard attaches to the machine's
+	// memory system, not to the core.
+	OnSpecLoad func(pc, addr, cycle uint64)
 }
 
 // New builds a Bus over mem with a cache configured by cfg, rejecting
@@ -71,6 +86,9 @@ func (b *Bus) Load(addr uint64, size int) (uint64, uint64, error) {
 		return 0, 0, err
 	}
 	lat, _ := b.DC.Access(addr)
+	if b.OnLoad != nil {
+		b.OnLoad(addr)
+	}
 	return v, lat, nil
 }
 

@@ -92,3 +92,32 @@ func TestStoreFaultPropagates(t *testing.T) {
 		t.Fatal("out-of-range store should fault")
 	}
 }
+
+// The observer hooks are nil by default and their disabled checks are
+// free: the load paths (architectural and speculative) stay at 0
+// allocs/op, the gate keeping the scoreboard zero-cost when no one is
+// watching.
+func TestNilHooksZeroAllocs(t *testing.T) {
+	b := newBus()
+	_, _, _ = b.Load(0x2000, 8) // warm the line
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, _, _ = b.Load(0x2000, 8)
+		_, _, _ = b.LoadSpeculative(0x2000, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("load path with nil hooks allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Installed hooks observe both load kinds (the speculative hook is
+// invoked by the VLIW core, so at bus level only OnLoad fires here).
+func TestOnLoadHookObserves(t *testing.T) {
+	b := newBus()
+	var got []uint64
+	b.OnLoad = func(addr uint64) { got = append(got, addr) }
+	_, _, _ = b.Load(0x2000, 8)
+	_, _, _ = b.LoadSpeculative(0x2040, 8) // must NOT trigger OnLoad
+	if len(got) != 1 || got[0] != 0x2000 {
+		t.Fatalf("OnLoad observed %v, want [0x2000]", got)
+	}
+}

@@ -47,6 +47,17 @@ type Stats struct {
 	Flushes uint64
 }
 
+// HitRatePct returns the hit rate as an integer percentage (0..100),
+// 0 before the first access — the shape the observability layer's
+// cache-hit-rate counter track samples.
+func (s Stats) HitRatePct() uint64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return s.Hits * 100 / total
+}
+
 type line struct {
 	valid bool
 	tag   uint64

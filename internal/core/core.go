@@ -125,14 +125,43 @@ func (g guardSet) union(o guardSet) guardSet {
 // returns the detection report (used by ModeUnsafe callers that still
 // want statistics, by tests, and by the ablation benchmarks).
 func Analyze(b *ir.Block) Report {
-	rep, _ := analyze(b)
+	rep, _ := analyze(b, nil)
 	return rep
 }
 
+// AnalyzeAudited is Analyze plus the per-block audit report: a
+// provenance chain for every poisoned node and every risky access. The
+// audit costs one extra allocation pass over the block and is only
+// paid when asked for — the plain Analyze/Apply entry points hand
+// analyze a nil collector and skip all provenance bookkeeping.
+func AnalyzeAudited(b *ir.Block) (Report, *ir.AuditReport) {
+	aud := &ir.AuditReport{}
+	rep, _ := analyze(b, aud)
+	return rep, aud
+}
+
 // analyze computes the report plus, for every risky load, the guard set
-// that must order it.
-func analyze(b *ir.Block) (Report, map[int]guardSet) {
+// that must order it. With a non-nil aud it additionally records, for
+// every instruction the poison reaches, where the poison came from —
+// the source speculative load and the operand step it arrived through —
+// and assembles the provenance chains of the audit report. When poison
+// reaches a node through more than one operand the chain records one
+// witness path (A-then-B operand order), not every path.
+func analyze(b *ir.Block, aud *ir.AuditReport) (Report, map[int]guardSet) {
 	var rep Report
+
+	// Provenance shadow state, allocated only when auditing:
+	// provSrc[i] is the source speculative load whose poison reached i
+	// (-1 when i is clean), provPred[i] the operand producer the poison
+	// stepped through to get here (-1 at the source itself).
+	var provSrc, provPred []int
+	if aud != nil {
+		provSrc = make([]int, len(b.Insts))
+		provPred = make([]int, len(b.Insts))
+		for i := range provSrc {
+			provSrc[i], provPred[i] = -1, -1
+		}
+	}
 
 	// selfGuards[i]: guards instruction i could speculate across
 	// (sources of its relaxable in-edges). Only loads generate poison
@@ -188,6 +217,20 @@ func analyze(b *ir.Block) (Report, map[int]guardSet) {
 			}
 			// Clean-address speculative load: its value is poisoned.
 			p = p.union(selfGuards[i])
+			if aud != nil {
+				provSrc[i], provPred[i] = i, -1 // poison originates here
+			}
+			poison[i] = p
+			continue
+		}
+		if aud != nil && len(p) > 0 {
+			// The witness step the poison took to reach i: the first
+			// poisoned operand in A-then-B order.
+			if in.A.Kind == ir.OpInst && len(poison[in.A.Inst]) > 0 {
+				provSrc[i], provPred[i] = provSrc[in.A.Inst], in.A.Inst
+			} else if in.B.Kind == ir.OpInst && len(poison[in.B.Inst]) > 0 {
+				provSrc[i], provPred[i] = provSrc[in.B.Inst], in.B.Inst
+			}
 		}
 		poison[i] = p
 	}
@@ -203,7 +246,67 @@ func analyze(b *ir.Block) (Report, map[int]guardSet) {
 		guards = guards.union(g)
 	}
 	rep.Guards = sortedKeys(guards)
+
+	if aud != nil {
+		aud.EntryPC = b.EntryPC
+		for i := range b.Insts {
+			if b.Insts[i].IsLoad() {
+				aud.LoadsAnalyzed++
+			}
+		}
+		aud.SpeculativeLoads = rep.SpeculativeLoads
+		aud.RelaxedLoads = rep.SpeculativeLoads - len(rep.RiskyLoads)
+		for _, i := range rep.Poisoned {
+			c := chainTo(b, provSrc, provPred, i)
+			c.Guards = guardRefs(b, poison[i])
+			aud.Poisoned = append(aud.Poisoned, c)
+		}
+		for _, load := range rep.RiskyLoads {
+			// The pinned access's chain runs through its poisoned
+			// address operand and ends at the access itself.
+			c := chainTo(b, provSrc, provPred, b.Insts[load].A.Inst)
+			c.Path = append(c.Path, load)
+			c.Node = load
+			c.PC = b.Insts[load].PC
+			c.Op = b.Insts[load].Op.String()
+			c.Guards = guardRefs(b, pins[load])
+			aud.Pinned = append(aud.Pinned, c)
+		}
+	}
 	return rep, pins
+}
+
+// chainTo reconstructs the witness provenance path ending at node i by
+// walking the recorded predecessor steps back to the source load.
+func chainTo(b *ir.Block, provSrc, provPred []int, i int) ir.ProvenanceChain {
+	path := []int{i}
+	for j := i; provPred[j] >= 0; j = provPred[j] {
+		path = append(path, provPred[j])
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return ir.ProvenanceChain{
+		Node:   i,
+		PC:     b.Insts[i].PC,
+		Op:     b.Insts[i].Op.String(),
+		Source: provSrc[i],
+		Path:   path,
+	}
+}
+
+// guardRefs renders a guard set as sorted, classified references.
+func guardRefs(b *ir.Block, g guardSet) []ir.GuardRef {
+	out := make([]ir.GuardRef, 0, len(g))
+	for _, n := range sortedKeys(g) {
+		in := &b.Insts[n]
+		kind := ir.GuardBranch
+		if in.IsStore() {
+			kind = ir.GuardStore
+		}
+		out = append(out, ir.GuardRef{Node: n, PC: in.PC, Op: in.Op.String(), Kind: kind})
+	}
+	return out
 }
 
 func sortedKeys(g guardSet) []int {
@@ -228,12 +331,27 @@ func sortedKeys(g guardSet) []int {
 //   - ModeNoSpeculation: every relaxable edge is pinned; no analysis
 //     needed, but the detection report is still returned for symmetry.
 func Apply(b *ir.Block, mode Mode) Report {
+	return applyWith(b, mode, nil)
+}
+
+// ApplyAudited is Apply plus the audit report. In ghostbusters mode
+// the report's pinned chains are backed by the guard edges Apply just
+// inserted, so aud.Verify(b, true) holds on the returned block; other
+// modes keep the same chains as explanations of what the analysis
+// detected (and, for fence/nospec, pinned by coarser means).
+func ApplyAudited(b *ir.Block, mode Mode) (Report, *ir.AuditReport) {
+	aud := &ir.AuditReport{}
+	rep := applyWith(b, mode, aud)
+	return rep, aud
+}
+
+func applyWith(b *ir.Block, mode Mode, aud *ir.AuditReport) Report {
 	if mode == ModeNoSpeculation {
-		rep := Analyze(b)
+		rep, _ := analyze(b, aud)
 		b.PinAll()
 		return rep
 	}
-	rep, pins := analyze(b)
+	rep, pins := analyze(b, aud)
 	switch mode {
 	case ModeUnsafe:
 		// report only
@@ -251,6 +369,9 @@ func Apply(b *ir.Block, mode Mode) Report {
 		for _, g := range rep.Guards {
 			b.PinFrom(g)
 		}
+	}
+	if aud != nil {
+		aud.GuardEdges = rep.GuardEdges
 	}
 	return rep
 }

@@ -1,0 +1,190 @@
+package dbt
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ghostbusters/internal/core"
+)
+
+// auditGadgetSrc runs the Fig. 1 gadget hot enough to be translated
+// (and trace-formed), so the machine-wide audit has real regions to
+// explain: an in-bounds loop around a bounds check feeding a dependent
+// load.
+const auditGadgetSrc = `
+main:
+	la s0, buffer
+	la s1, arrayVal
+	li t0, 16
+	li s2, 200
+	li s3, 0
+loop:
+	andi a0, s3, 15
+	bgeu a0, t0, skip
+	add t1, s0, a0
+	lbu t2, 0(t1)
+	slli t2, t2, 7
+	add t3, s1, t2
+	lbu t4, 0(t3)
+skip:
+	addi s3, s3, 1
+	blt s3, s2, loop
+	li a0, 0
+	ecall
+
+	.data
+buffer:
+	.space 16
+arrayVal:
+	.space 32768
+`
+
+func runAudited(t *testing.T, mode core.Mode) (*Machine, *Audit) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Mitigation = mode
+	cfg.Audit = true
+	_, m := runSrc(t, auditGadgetSrc, cfg)
+	aud := m.Audit()
+	if aud == nil {
+		t.Fatal("Machine.Audit() nil with Config.Audit set")
+	}
+	return m, aud
+}
+
+// The acceptance cross-check: every pinned access in every translated
+// region must be explained by a provenance chain that replays against
+// the retained IR block — including the guard edges the mitigation
+// inserted.
+func TestAuditExplainsEveryPinnedAccess(t *testing.T) {
+	m, aud := runAudited(t, core.ModeGhostBusters)
+	if len(aud.Blocks) == 0 {
+		t.Fatal("no audited regions — gadget never got hot?")
+	}
+	tot := aud.Totals()
+	if tot.Pinned == 0 {
+		t.Fatal("gadget produced no pinned accesses")
+	}
+	// The machine-wide pinned count must agree with the stats counter
+	// for currently-installed regions being a subset of all
+	// translations ever (deopts replace entries).
+	if m.stats.RiskyLoads < tot.Pinned {
+		t.Fatalf("audit pinned %d > stats risky loads %d", tot.Pinned, m.stats.RiskyLoads)
+	}
+	if err := aud.Verify(); err != nil {
+		t.Fatalf("audit replay failed: %v", err)
+	}
+	for _, b := range aud.Blocks {
+		for i := range b.Report.Pinned {
+			c := &b.Report.Pinned[i]
+			if len(c.Path) < 2 || len(c.Guards) == 0 {
+				t.Fatalf("pinned chain without path/guards in block @%#x: %+v", b.PC, c)
+			}
+		}
+	}
+	// Depth histogram covers every chain.
+	chains := 0
+	for _, n := range tot.DepthHist {
+		chains += n
+	}
+	if chains != tot.Poisoned+tot.Pinned {
+		t.Fatalf("depth histogram covers %d chains, want %d", chains, tot.Poisoned+tot.Pinned)
+	}
+}
+
+// Audits replay in every mitigation mode (guard edges required only in
+// ghostbusters mode).
+func TestAuditAllModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeUnsafe, core.ModeGhostBusters, core.ModeFence, core.ModeNoSpeculation} {
+		_, aud := runAudited(t, mode)
+		if err := aud.Verify(); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+// Auditing off: nothing retained, Audit() reports nil.
+func TestAuditDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mitigation = core.ModeGhostBusters
+	_, m := runSrc(t, auditGadgetSrc, cfg)
+	if m.Audit() != nil {
+		t.Fatal("Audit() non-nil with auditing off")
+	}
+	for pc, e := range m.trans {
+		if e.audit != nil || e.auditIR != nil {
+			t.Fatalf("entry @%#x retained audit state with auditing off", pc)
+		}
+	}
+}
+
+// The JSON document: stable schema tag, totals consistent with the
+// aggregation, valid JSON round-trip.
+func TestAuditDocSchema(t *testing.T) {
+	_, aud := runAudited(t, core.ModeGhostBusters)
+	doc := aud.Doc()
+	if doc.Schema != "ghostbusters/audit/v1" {
+		t.Fatalf("schema = %q, want the stable ghostbusters/audit/v1 tag", doc.Schema)
+	}
+	if doc.Mode != "ghostbusters" {
+		t.Fatalf("mode = %q", doc.Mode)
+	}
+	tot := aud.Totals()
+	if doc.Totals.Pinned != tot.Pinned || doc.Totals.LoadsAnalyzed != tot.LoadsAnalyzed {
+		t.Fatalf("doc totals %+v disagree with %+v", doc.Totals, tot)
+	}
+	if len(doc.Blocks) != len(aud.Blocks) {
+		t.Fatalf("doc has %d blocks, audit %d", len(doc.Blocks), len(aud.Blocks))
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AuditDoc
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("audit doc does not round-trip: %v", err)
+	}
+	if back.Totals.DepthHist == nil {
+		t.Fatal("depth_hist lost in round-trip")
+	}
+}
+
+// The human-readable table names every pinned access with its chain.
+func TestAuditFormat(t *testing.T) {
+	_, aud := runAudited(t, core.ModeGhostBusters)
+	out := aud.Format()
+	for _, want := range []string{"audit mode=ghostbusters", "provenance depth histogram:", "pinned n", "addr poisoned by", "guards:", "(branch)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("audit table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// DumpIR renders the audited overlay under the machine's own
+// mitigation mode: pinned nodes and guard edges visible in
+// ghostbusters mode.
+func TestDumpIROverlay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mitigation = core.ModeGhostBusters
+	_, m := runSrc(t, auditGadgetSrc, cfg)
+	var pc uint64
+	for _, cand := range m.TranslatedPCs() {
+		pc = cand
+		break
+	}
+	found := false
+	for _, cand := range m.TranslatedPCs() {
+		dot, err := m.DumpIR(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(dot, "[pinned]") && strings.Contains(dot, "color=red, style=dashed") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no translated region renders a pinned overlay (first pc %#x)", pc)
+	}
+}

@@ -14,6 +14,13 @@ import (
 type CompileResult struct {
 	Block  *vliw.Block
 	Report core.Report
+
+	// Audit carries the per-block provenance report and the mitigated
+	// IR block it describes, populated only when compileOpts.Audit is
+	// set (Config.Audit); nil otherwise — the unaudited translation
+	// path performs no provenance bookkeeping at all.
+	Audit   *ir.AuditReport
+	AuditIR *ir.Block
 }
 
 // compileOpts tweaks the back end per block.
@@ -21,6 +28,9 @@ type compileOpts struct {
 	// DisableMemSpec forces memory speculation off (adaptive
 	// retranslation of blocks with recovery storms).
 	DisableMemSpec bool
+	// Audit collects the poison-provenance audit report during
+	// mitigation and retains the IR block for replay/rendering.
+	Audit bool
 }
 
 // compile runs the full back end on one IR block: mitigation, graph
@@ -35,7 +45,13 @@ func compileWith(b *ir.Block, guestInsts int, cfg *vliw.Config, mode core.Mode, 
 	if err := b.Verify(); err != nil {
 		return nil, err
 	}
-	rep := core.Apply(b, mode)
+	var rep core.Report
+	var aud *ir.AuditReport
+	if opts.Audit {
+		rep, aud = core.ApplyAudited(b, mode)
+	} else {
+		rep = core.Apply(b, mode)
+	}
 
 	try := func(ctrlSpec, memSpec bool) (*vliw.Block, error) {
 		memSpec = memSpec && !opts.DisableMemSpec
@@ -59,7 +75,11 @@ func compileWith(b *ir.Block, guestInsts int, cfg *vliw.Config, mode core.Mode, 
 	if err != nil {
 		return nil, err
 	}
-	return &CompileResult{Block: blk, Report: rep}, nil
+	res := &CompileResult{Block: blk, Report: rep}
+	if opts.Audit {
+		res.Audit, res.AuditIR = aud, b
+	}
+	return res, nil
 }
 
 // destPhys returns the physical destination register of an instruction

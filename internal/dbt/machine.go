@@ -10,6 +10,7 @@ import (
 	"ghostbusters/internal/cache"
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/guestmem"
+	"ghostbusters/internal/ir"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/riscv"
 	"ghostbusters/internal/trap"
@@ -104,6 +105,16 @@ type Config struct {
 	// check that the code cache contents are fully representable in the
 	// target ISA (debug builds; small translation-time cost).
 	VerifyEncoding bool
+
+	// Audit collects the leakage audit layer's per-block poison
+	// provenance: for every pinned access, the chain from the source
+	// speculative load through the data flow to the guards it was
+	// anchored to (see ir.AuditReport). Translation-time only — the
+	// execution hot paths are untouched — and gated like tracing:
+	// disabled auditing costs a single branch per translation and is
+	// pinned at 0 allocs/op on the run path. Retrieve with
+	// Machine.Audit after (or during) a run.
+	Audit bool
 }
 
 // DefaultConfig returns the standard machine: 4-issue VLIW, 16 KiB data
@@ -201,6 +212,13 @@ type transEntry struct {
 	guardEdges      int
 	pattern         bool
 	transNS         int64
+
+	// Audit retention (Config.Audit only): the provenance report and
+	// the mitigated IR block it replays against. Deopts and trace
+	// upgrades replace the whole entry, so the audit always describes
+	// the code currently installed at this PC.
+	audit   *ir.AuditReport
+	auditIR *ir.Block
 }
 
 type brStat struct{ taken, total uint64 }
@@ -442,7 +460,7 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		m.transFail(pc, false, err)
 		return
 	}
-	opts := compileOpts{DisableMemSpec: noMemSpec}
+	opts := compileOpts{DisableMemSpec: noMemSpec, Audit: m.cfg.Audit}
 	res, err := compileWith(irBlk, guestInsts, &m.cfg.Core, m.cfg.Mitigation, opts)
 	if err != nil {
 		m.stats.CompileErrs++
@@ -472,6 +490,8 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		guardEdges:      res.Report.GuardEdges,
 		pattern:         res.Report.PatternFound(),
 		transNS:         time.Since(t0).Nanoseconds(),
+		audit:           res.Audit,
+		auditIR:         res.AuditIR,
 	}
 	if asTrace {
 		m.stats.Traces++
@@ -498,6 +518,13 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		m.tr.Emit(obs.Event{Kind: obs.EvTranslateDone, Cycle: m.cycles, PC: pc,
 			Arg1: uint64(blk.GuestInsts), Arg2: uint64(len(blk.Bundles)),
 			Arg3: uint64(e.transNS), Str: kind})
+		if m.tr.SpecOn() {
+			// Counter track: cumulative Spectre-pattern loads found so
+			// far (pinned in every mitigating mode), sampled whenever a
+			// translation lands.
+			m.tr.Emit(obs.Event{Kind: obs.EvCounter, Cycle: m.cycles,
+				Arg1: uint64(m.stats.RiskyLoads), Str: obs.CtrPinnedLoads})
+		}
 	}
 }
 
@@ -604,6 +631,13 @@ func (m *Machine) Run() (*Result, error) {
 				}
 				m.tr.Emit(obs.Event{Kind: obs.EvBlockExit, Cycle: m.cycles, PC: pc,
 					Arg1: ei.NextPC, Arg2: side})
+				if m.tr.SpecOn() {
+					// Counter track: running data-cache hit rate, sampled
+					// at block granularity — dips line up with the flush
+					// phases of an attack in the Perfetto view.
+					m.tr.Emit(obs.Event{Kind: obs.EvCounter, Cycle: m.cycles,
+						Arg1: m.b.DC.Stats().HitRatePct(), Str: obs.CtrCacheHitRate})
+				}
 			}
 			e.execs++
 			e.recov += cs.Recoveries - csBefore.Recoveries
@@ -700,9 +734,12 @@ func (m *Machine) BlockAt(pc uint64) *vliw.Block {
 }
 
 // DumpIR re-translates the region at pc the same way the DBT engine did
-// (trace when one exists, basic block otherwise) and renders its IR
-// data-flow graph in Graphviz format with the poison analysis overlaid —
-// the paper's Figure 3 for arbitrary guest code.
+// (trace when one exists, basic block otherwise), applies the
+// configured mitigation, and renders the IR data-flow graph in
+// Graphviz format with the audited poison analysis overlaid — poisoned
+// nodes outlined blue, pinned accesses red with their guard edges
+// (dashed red), guards annotated: the paper's Figure 3 for arbitrary
+// guest code, under the machine's own mitigation mode.
 func (m *Machine) DumpIR(pc uint64) (string, error) {
 	e := m.trans[pc]
 	asTrace := e != nil && e.isTrace
@@ -715,12 +752,8 @@ func (m *Machine) DumpIR(pc uint64) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("dbt: DumpIR(%#x): %w", pc, err)
 	}
-	rep := core.Analyze(irBlk)
-	poisoned := make(map[int]bool, len(rep.Poisoned))
-	for _, i := range rep.Poisoned {
-		poisoned[i] = true
-	}
-	return irBlk.Dot(poisoned), nil
+	_, aud := core.ApplyAudited(irBlk, m.cfg.Mitigation)
+	return irBlk.Dot(aud.Overlay()), nil
 }
 
 // HotRegion summarises one translated entry point for profiling output.

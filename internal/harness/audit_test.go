@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/polybench"
+)
+
+// Every provenance chain the audit reports for the benchmark kernels
+// must replay against the installed IR: the path must be a real
+// def-use walk from a speculative load, and every pinned access must
+// name the guards that forced the pin. The Figure 4 suite pins nothing
+// (that is the paper's point — the pattern rarely fires on benign
+// code), so matmul-ptr, the gadget-carrying kernel, rides along to
+// make sure the replay exercises at least one real chain.
+func TestFig4KernelsAuditReplays(t *testing.T) {
+	arts := NewArtifacts()
+	kernels := polybench.All()
+	gadget, err := polybench.ByName("matmul-ptr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernels = append(kernels, gadget)
+	pinned := 0
+	for _, k := range kernels {
+		cfg := dbt.DefaultConfig()
+		cfg.Mitigation = core.ModeGhostBusters
+		cfg.Audit = true
+		art, err := arts.Kernel(k, 6, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		m, err := dbt.New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if err := m.Load(art.Prog); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for i, a := range art.Spec.Arrays {
+			if err := art.place[i].Init(m.Mem(), art.Spec.Inputs[a.Name]); err != nil {
+				t.Fatalf("%s: init %s: %v", k.Name, a.Name, err)
+			}
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		aud := m.Audit()
+		if aud == nil {
+			t.Fatalf("%s: audit enabled but none collected", k.Name)
+		}
+		if err := aud.Verify(); err != nil {
+			t.Errorf("%s: audit replay: %v", k.Name, err)
+		}
+		pinned += aud.Totals().Pinned
+		m.Release()
+	}
+	if pinned == 0 {
+		t.Fatal("no Figure 4 kernel pinned a load; the audit never exercised a provenance chain")
+	}
+}
+
+// Auditing is translation-time only: turning it on must not move a
+// single cycle of the Figure 4 experiment. The table and CSV are
+// byte-identical with Config.Audit on and off — the audit acceptance
+// criterion guarding the fig4 baseline.
+func TestFig4OutputUnchangedByAuditing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full benchmark matrix twice")
+	}
+	n := 6
+	run := func(audit bool) (string, string) {
+		t.Helper()
+		cfg := dbt.DefaultConfig()
+		cfg.Audit = audit
+		r := &Runner{Artifacts: NewArtifacts()}
+		rows, err := r.Fig4(context.Background(), cfg, Fig4Modes, n)
+		if err != nil {
+			t.Fatalf("fig4 (audit=%v): %v", audit, err)
+		}
+		return FormatRows(rows, Fig4Modes), CSV(rows, Fig4Modes)
+	}
+	tablePlain, csvPlain := run(false)
+	tableAudited, csvAudited := run(true)
+	if tablePlain != tableAudited {
+		t.Errorf("Figure 4 table changed under auditing:\noff:\n%s\non:\n%s", tablePlain, tableAudited)
+	}
+	if csvPlain != csvAudited {
+		t.Errorf("Figure 4 CSV changed under auditing:\noff:\n%s\non:\n%s", csvPlain, csvAudited)
+	}
+}
+
+// BenchmarkFig4Audited complements BenchmarkFig4Untraced /
+// BenchmarkFig4BlockTraced: the cost of collecting full poison
+// provenance for every translated region (translation-time only, so
+// the delta should be small — compare with benchstat).
+func BenchmarkFig4Audited(b *testing.B) {
+	arts := NewArtifacts()
+	for i := 0; i < b.N; i++ {
+		cfg := dbt.DefaultConfig()
+		cfg.Audit = true
+		r := &Runner{Workers: 1, Artifacts: arts}
+		if _, err := r.Fig4(context.Background(), cfg, Fig4Modes, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

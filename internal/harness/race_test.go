@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/obs"
+	"ghostbusters/internal/polybench"
+)
+
+// tracedBench wraps a kernel so every matrix cell builds and owns a
+// private tracer writing into a private buffer — the ownership contract
+// from the internal/obs package comment (one tracer per machine, one
+// goroutine, no sharing across cells). traced accumulates the bytes
+// each cell's trace produced, proving the tracers actually ran.
+func tracedBench(k polybench.Kernel, n int, traced *atomic.Int64) Bench {
+	return Bench{
+		Name: k.Name,
+		Run: func(_ context.Context, cfg dbt.Config, arts *Artifacts) (*KernelRun, error) {
+			var buf bytes.Buffer
+			sink, err := obs.SinkFor("jsonl", &buf)
+			if err != nil {
+				return nil, err
+			}
+			tr := obs.New(obs.LevelSpec, sink)
+			cfg.Tracer = tr
+			art, err := arts.Kernel(k, n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			run, err := runArtifact(art, cfg)
+			if cerr := tr.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, err
+			}
+			traced.Add(int64(buf.Len()))
+			return run, nil
+		},
+	}
+}
+
+// The tracer ownership contract under the race detector: a parallel
+// matrix at 8 workers where every cell owns its private tracer must be
+// race-free (run with -race; a shared tracer here would trip it). This
+// is the supported way to trace a parallel experiment — never put one
+// tracer in the base config of a multi-worker Runner.
+func TestPerCellTracersParallel(t *testing.T) {
+	var traced atomic.Int64
+	n := 6
+	var benches []Bench
+	for _, k := range polybench.All()[:4] {
+		benches = append(benches, tracedBench(k, n, &traced))
+	}
+	r := &Runner{Workers: 8, Artifacts: NewArtifacts()}
+	rows, err := r.RunMatrix(context.Background(), dbt.DefaultConfig(), benches, Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benches) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(benches))
+	}
+	if traced.Load() == 0 {
+		t.Fatal("no cell produced any trace output")
+	}
+	// The parallel traced run still yields the same cycles as a
+	// sequential untraced one: tracing and parallelism are both
+	// perturbation-free.
+	seq := &Runner{Workers: 1, Artifacts: NewArtifacts()}
+	plain := make([]Bench, 0, len(benches))
+	for _, k := range polybench.All()[:4] {
+		plain = append(plain, KernelBench(k, n))
+	}
+	want, err := seq.RunMatrix(context.Background(), dbt.DefaultConfig(), plain, Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for _, mode := range Fig4Modes {
+			if rows[i].Cycles[mode] != want[i].Cycles[mode] {
+				t.Errorf("%s/%s: traced parallel %d cycles, plain sequential %d",
+					rows[i].Name, mode, rows[i].Cycles[mode], want[i].Cycles[mode])
+			}
+		}
+	}
+}

@@ -88,3 +88,13 @@ func BenchmarkFig4BlockTraced(b *testing.B) {
 		return obs.New(obs.LevelBlock, sink)
 	})
 }
+
+func BenchmarkFig4SpecTraced(b *testing.B) {
+	benchFig4(b, func() *obs.Tracer {
+		sink, err := obs.SinkFor("jsonl", io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return obs.New(obs.LevelSpec, sink)
+	})
+}

@@ -6,13 +6,29 @@ import (
 	"strings"
 )
 
+// DotOverlay is the audit overlay Dot can render on top of the plain
+// data-flow graph: poisoned nodes outlined blue with their value flow
+// in bold blue, pinned (mitigated) accesses outlined red with a
+// "pinned" tag, guard instructions tagged "guard". Build one by hand
+// or from an AuditReport via its Overlay method.
+type DotOverlay struct {
+	Poisoned map[int]bool
+	Pinned   map[int]bool
+	Guards   map[int]bool
+}
+
+func (ov *DotOverlay) poisoned(i int) bool { return ov != nil && ov.Poisoned[i] }
+func (ov *DotOverlay) pinned(i int) bool   { return ov != nil && ov.Pinned[i] }
+func (ov *DotOverlay) guard(i int) bool    { return ov != nil && ov.Guards[i] }
+
 // Dot renders the block's data-flow graph in Graphviz format, in the
 // style of the paper's Figure 3: solid arrows for data dependencies,
 // solid heavy arrows for memory/control ordering, dashed red arrows for
 // mitigation-inserted guard dependencies, and double-lined blue arrows
-// for poisoned value flow (pass the poisoned instruction set from the
-// analysis; nil renders plain).
-func (b *Block) Dot(poisoned map[int]bool) string {
+// for poisoned value flow. ov (may be nil for a plain rendering)
+// highlights the audited poison analysis: poisoned producers, pinned
+// accesses, guard sources.
+func (b *Block) Dot(ov *DotOverlay) string {
 	var sb strings.Builder
 	sb.WriteString("digraph block {\n")
 	sb.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
@@ -24,6 +40,14 @@ func (b *Block) Dot(poisoned map[int]bool) string {
 		if in.IsBranch() {
 			label += fmt.Sprintf("\\nexit %#x", in.BranchExit)
 		}
+		switch {
+		case ov.pinned(i):
+			label += "\\n[pinned]"
+		case ov.guard(i):
+			label += "\\n[guard]"
+		case ov.poisoned(i):
+			label += "\\n[poisoned]"
+		}
 		attrs := ""
 		switch {
 		case in.IsStore():
@@ -32,6 +56,14 @@ func (b *Block) Dot(poisoned map[int]bool) string {
 			attrs = ", style=filled, fillcolor=lightcyan"
 		case in.IsBranch():
 			attrs = ", style=filled, fillcolor=mistyrose"
+		}
+		switch {
+		case ov.pinned(i):
+			attrs += ", color=red, penwidth=2.5"
+		case ov.poisoned(i):
+			attrs += ", color=blue, penwidth=2"
+		case ov.guard(i):
+			attrs += ", color=red4, penwidth=2"
 		}
 		fmt.Fprintf(&sb, "  n%d [label=\"%s\"%s];\n", i, label, attrs)
 	}
@@ -45,7 +77,7 @@ func (b *Block) Dot(poisoned map[int]bool) string {
 			}
 			style := "solid"
 			color := "black"
-			if poisoned != nil && poisoned[op.Inst] {
+			if ov.poisoned(op.Inst) {
 				// The paper's "poisoned" double blue arrows.
 				color = "blue"
 				style = "bold"

@@ -236,7 +236,7 @@ func TestBlockString(t *testing.T) {
 func TestDotExport(t *testing.T) {
 	b := buildSpectreV4(t)
 	b.AddEdge(Edge{From: 1, To: 4, Kind: EdgeGuard})
-	dot := b.Dot(map[int]bool{2: true, 3: true})
+	dot := b.Dot(&DotOverlay{Poisoned: map[int]bool{2: true, 3: true}})
 	for _, want := range []string{
 		"digraph block",
 		"n0 ->", "color=red, style=dashed", // the guard dependency

@@ -14,6 +14,21 @@
 // receiver for every method, the hot-path guards (BlockOn, SpecOn)
 // compile down to a nil check plus a byte compare, and the disabled
 // emit path is pinned at 0 allocs/op by the package tests.
+//
+// # Tracer ownership
+//
+// A Tracer is single-owner, single-goroutine state: it belongs to
+// exactly one machine, and only the goroutine driving that machine may
+// call Emit/Flush/Close on it. There is no internal locking — the emit
+// path is a plain store into a preallocated buffer precisely so that
+// tracing at LevelSpec stays cheap. Under the parallel experiment
+// harness this means each worker cell must construct its own Tracer
+// (and its own Sink, unless the sink is independently synchronized)
+// inside its Run function; sharing one Tracer between cells, or
+// between a machine and a background reader, is a data race. The
+// harness race test (internal/harness, -race with 8 workers) pins this
+// contract: N concurrent machines, N private tracers, zero shared
+// mutable state.
 package obs
 
 // Level selects how much the tracer records.
@@ -88,8 +103,34 @@ const (
 	// EvTrap: a guest fault was raised. PC = faulting guest PC;
 	// Arg1 = faulting address; Str = trap kind name.
 	EvTrap
+	// EvCounter: a sampled counter value, rendered by the Perfetto
+	// sink as a counter track ("C" phase) on the simulated-cycle
+	// axis. Str = counter track name (one of the Ctr* constants, or
+	// any other static string); Arg1 = value.
+	EvCounter
 
 	numEventKinds
+)
+
+// Counter track names carried in Event.Str by EvCounter events. They
+// are package-level constants so every emission site shares one static
+// string (the emit path stays allocation-free) and every consumer sees
+// one stable spelling.
+const (
+	// CtrCacheHitRate: data-cache hit rate in percent (0..100),
+	// sampled at block exits.
+	CtrCacheHitRate = "cache-hit-rate"
+	// CtrMCBOccupancy: outstanding Memory Conflict Buffer entries,
+	// sampled when a dismissable load inserts and when a check
+	// consumes.
+	CtrMCBOccupancy = "mcb-occupancy"
+	// CtrPinnedLoads: cumulative count of risky (Spectre-pattern)
+	// loads the mitigation pinned, sampled after each translation.
+	CtrPinnedLoads = "pinned-loads"
+	// CtrLeakedBytes: cumulative secret bytes whose probe line was
+	// speculatively filled, sampled by the attack scoreboard at the
+	// leaking load.
+	CtrLeakedBytes = "leaked-bytes"
 )
 
 // NumEventKinds is the number of defined event kinds.
@@ -111,6 +152,7 @@ var kindNames = [NumEventKinds]string{
 	EvRecovery:       "recovery",
 	EvCacheFlush:     "cache-flush",
 	EvTrap:           "trap",
+	EvCounter:        "counter",
 }
 
 func (k EventKind) String() string {

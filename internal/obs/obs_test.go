@@ -21,6 +21,9 @@ func TestDisabledTracerZeroAllocs(t *testing.T) {
 		if tr.SpecOn() {
 			tr.Emit(Event{Kind: EvSpecLoad, Cycle: 2, PC: 0x104, Arg1: 0x2000})
 		}
+		if tr.SpecOn() { // counter emissions use the same gate
+			tr.Emit(Event{Kind: EvCounter, Cycle: 3, Arg1: 4, Str: CtrMCBOccupancy})
+		}
 		tr.Emit(Event{Kind: EvTrap}) // even an unguarded emit is free
 	})
 	if allocs != 0 {
@@ -99,6 +102,8 @@ func sampleEvents() []Event {
 		{Kind: EvTranslateFail, Cycle: 25, PC: 0x300, Str: `bad "op"`},
 		{Kind: EvDeopt, Cycle: 30, PC: 0x100},
 		{Kind: EvTrap, Cycle: 31, PC: 0x118, Arg1: 0x9000, Str: "out-of-range-access"},
+		{Kind: EvCounter, Cycle: 32, Arg1: 97, Str: CtrCacheHitRate},
+		{Kind: EvCounter, Cycle: 33, Arg1: 2, Str: CtrMCBOccupancy},
 	}
 }
 
@@ -212,7 +217,7 @@ func TestPerfettoSinkProducesValidTrace(t *testing.T) {
 			depth++
 		case "E":
 			depth--
-		case "i":
+		case "i", "C":
 		default:
 			t.Fatalf("unexpected phase %q", ev.Ph)
 		}

@@ -267,6 +267,11 @@ func (s *TextSink) WriteEvents(evs []Event) error {
 			b = appendHex(b, e.PC)
 			b = append(b, " addr="...)
 			b = appendHex(b, e.Arg1)
+		case EvCounter:
+			b = append(b, "counter "...)
+			b = append(b, e.Str...)
+			b = append(b, '=')
+			b = appendDec(b, e.Arg1)
 		default:
 			b = append(b, e.Kind.String()...)
 			b = append(b, " @"...)
@@ -347,7 +352,10 @@ func (s *JSONLSink) Close() error { return nil }
 // Tracks: tid 0 "execution" carries block enter/exit spans plus interp
 // and trap instants; tid 1 "translation" the DBT engine's events; tid 2
 // "speculation" the per-load issue/squash/recovery instants; tid 3
-// "memory" cache flushes.
+// "memory" cache flushes. EvCounter events render as "C"-phase counter
+// tracks (one per counter name — cache hit rate, MCB occupancy, pinned
+// loads, leaked bytes), so the attack timeline and the leakage it
+// causes share one simulated-cycle axis in the viewer.
 type PerfettoSink struct {
 	w     io.Writer
 	buf   []byte // batch scratch, reused across WriteEvents calls
@@ -365,6 +373,7 @@ const (
 	tidTrans = 1
 	tidSpec  = 2
 	tidMem   = 3
+	tidCtr   = 4
 )
 
 // lane maps each event kind to its trace-event phase and track.
@@ -387,6 +396,7 @@ var lane = [NumEventKinds]struct {
 	EvRecovery:       {'i', tidSpec},
 	EvCacheFlush:     {'i', tidMem},
 	EvTrap:           {'i', tidExec},
+	EvCounter:        {'C', tidCtr},
 }
 
 func (s *PerfettoSink) preamble() error {
@@ -401,7 +411,7 @@ func (s *PerfettoSink) preamble() error {
 	meta := []struct {
 		name string
 		tid  int
-	}{{"execution", tidExec}, {"translation", tidTrans}, {"speculation", tidSpec}, {"memory", tidMem}}
+	}{{"execution", tidExec}, {"translation", tidTrans}, {"speculation", tidSpec}, {"memory", tidMem}, {"counters", tidCtr}}
 	if _, err := fmt.Fprintf(s.w, `{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"ghostbusters-sim"}}`); err != nil {
 		return err
 	}
@@ -562,6 +572,13 @@ func (s *PerfettoSink) WriteEvents(evs []Event) error {
 			b = appendName(b, e.Str, e.PC)
 			b = append(b, `","args":{`...)
 			b = appendHexField(b, "addr", e.Arg1)
+			b = append(b, '}')
+		case EvCounter:
+			// Counter tracks are keyed by name: every sample of the
+			// same counter lands on one track, value in args.
+			b = append(b, e.Str...)
+			b = append(b, `","args":{`...)
+			b = appendIntField(b, "value", e.Arg1)
 			b = append(b, '}')
 		default:
 			b = append(b, e.Kind.String()...)

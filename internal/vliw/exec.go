@@ -220,6 +220,11 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 							*cycles += lat - hitLat
 						}
 						val = riscv.ExtendLoad(sy.Op, v)
+						if b.OnSpecLoad != nil {
+							// The ground-truth observer: this cache fill
+							// happened under speculation (see bus.OnSpecLoad).
+							b.OnSpecLoad(sy.GuestPC, addr, *cycles)
+						}
 					} else {
 						squashed = true
 					}
@@ -236,6 +241,10 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 				if sy.Kind == KLoadS {
 					if err := c.MCB.Insert(sy.Tag, addr, sy.Op.MemSize(), squashed); err != nil {
 						return fault(err, sy.GuestPC)
+					}
+					if c.Tracer.SpecOn() {
+						c.Tracer.Emit(obs.Event{Kind: obs.EvCounter, Cycle: *cycles,
+							Arg1: uint64(c.MCB.Outstanding()), Str: obs.CtrMCBOccupancy})
 					}
 				}
 				if ei := write(sy, val, squashed); ei != nil {
@@ -260,6 +269,10 @@ func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint6
 				conflict, faulted, err := c.MCB.Consume(sy.Tag)
 				if err != nil {
 					return fault(err, sy.GuestPC)
+				}
+				if c.Tracer.SpecOn() {
+					c.Tracer.Emit(obs.Event{Kind: obs.EvCounter, Cycle: *cycles,
+						Arg1: uint64(c.MCB.Outstanding()), Str: obs.CtrMCBOccupancy})
 				}
 				if faulted {
 					// The speculative load faults at its original
@@ -443,6 +456,9 @@ func (c *Core) execRecovery(seq []Syllable, regs *[NumRegs]uint64, poisoned *[Nu
 						*cycles += lat - hitLat
 					}
 					val = riscv.ExtendLoad(sy.Op, v)
+					if b.OnSpecLoad != nil {
+						b.OnSpecLoad(sy.GuestPC, addr, *cycles)
+					}
 				} else {
 					squashed = true
 				}

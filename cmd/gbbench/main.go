@@ -52,6 +52,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ghostbusters/internal/core"
@@ -85,7 +86,13 @@ func main() {
 	injectTrans := flag.Float64("inject-translation-rate", 0, "probability a translation attempt is forced to fail (0..1)")
 	injectCache := flag.Float64("inject-cache-rate", 0, "probability an architectural access raises a transient cache fault (0..1)")
 	injectIntr := flag.Float64("inject-interrupt-rate", 0, "probability per poll window of an injected spurious interrupt (0..1)")
+	modesFlag := flag.String("modes", "fig4", `modes to sweep (fig4/ptrmm/kernel): "fig4" (the paper's four), "all" (every registered mitigation), or a comma-separated list of mode names`)
 	flag.Parse()
+
+	modes, err := parseModes(*modesFlag)
+	if err != nil {
+		usageError("gbbench: %v", err)
+	}
 
 	if *n < 0 {
 		usageError("gbbench: -n must be >= 0, got %d", *n)
@@ -153,7 +160,7 @@ func main() {
 		if *perfjson == "" && *checkperf == "" {
 			return
 		}
-		rep := harness.PerfFromRows(rows, harness.Fig4Modes)
+		rep := harness.PerfFromRows(rows, modes)
 		if *perfjson != "" {
 			fail(rep.WriteFile(*perfjson))
 		}
@@ -167,20 +174,20 @@ func main() {
 	switch *exp {
 	case "fig4":
 		start := time.Now()
-		rows, err := runner.Fig4(ctx, base, harness.Fig4Modes, *n)
+		rows, err := runner.Fig4(ctx, base, modes, *n)
 		fail(err)
 		// Timing goes to stderr so stdout stays byte-identical at any -j.
 		fmt.Fprintf(os.Stderr, "gbbench: %d benchmarks x %d modes on %d workers in %v\n",
-			len(rows), len(harness.Fig4Modes), *jobs, time.Since(start).Round(time.Millisecond))
+			len(rows), len(modes), *jobs, time.Since(start).Round(time.Millisecond))
 		perfOut(rows)
 		if *csv {
-			fmt.Print(harness.CSV(rows, harness.Fig4Modes))
+			fmt.Print(harness.CSV(rows, modes))
 			return
 		}
 		fmt.Println("Figure 4 — slowdown vs. unsafe execution (lower is better)")
 		fmt.Println("columns: unsafe baseline cycles; then % of unsafe time per countermeasure")
 		fmt.Println()
-		fmt.Print(harness.FormatRows(rows, harness.Fig4Modes))
+		fmt.Print(harness.FormatRows(rows, modes))
 
 	case "poc":
 		table, _, err := harness.PoCMatrix(base)
@@ -192,37 +199,63 @@ func main() {
 	case "ptrmm":
 		k, err := polybench.ByName("matmul-ptr")
 		fail(err)
-		row, err := runner.RunKernel(ctx, k, *n, base, harness.Fig4Modes)
+		row, err := runner.RunKernel(ctx, k, *n, base, modes)
 		fail(err)
 		perfOut([]*harness.Row{row})
 		if *csv {
-			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
+			fmt.Print(harness.CSV([]*harness.Row{row}, modes))
 			return
 		}
 		fmt.Println("Section V-B — matmul with array-of-pointer 2-D layout")
 		fmt.Println("(the Spectre pattern occurs in the hot loop: fine-grained")
 		fmt.Println("mitigation should cost far less than the fence)")
 		fmt.Println()
-		fmt.Print(harness.FormatRows([]*harness.Row{row}, harness.Fig4Modes))
-		gb := row.Stats[core.ModeGhostBusters]
-		fmt.Printf("\npatterns detected: %d, risky loads pinned: %d, guard edges: %d\n",
-			gb.PatternsFound, gb.RiskyLoads, gb.GuardEdges)
+		fmt.Print(harness.FormatRows([]*harness.Row{row}, modes))
+		if gb, ok := row.Stats[core.ModeGhostBusters]; ok {
+			fmt.Printf("\npatterns detected: %d, risky loads pinned: %d, guard edges: %d\n",
+				gb.PatternsFound, gb.RiskyLoads, gb.GuardEdges)
+		}
 
 	case "kernel":
 		k, err := polybench.ByName(*kernel)
 		fail(err)
-		row, err := runner.RunKernel(ctx, k, *n, base, harness.Fig4Modes)
+		row, err := runner.RunKernel(ctx, k, *n, base, modes)
 		fail(err)
 		perfOut([]*harness.Row{row})
 		if *csv {
-			fmt.Print(harness.CSV([]*harness.Row{row}, harness.Fig4Modes))
+			fmt.Print(harness.CSV([]*harness.Row{row}, modes))
 			return
 		}
-		fmt.Print(harness.FormatRows([]*harness.Row{row}, harness.Fig4Modes))
+		fmt.Print(harness.FormatRows([]*harness.Row{row}, modes))
 
 	default:
 		usageError("gbbench: unknown experiment %q", *exp)
 	}
+}
+
+// parseModes resolves the -modes flag: the two named sweeps, or an
+// explicit comma-separated list of mitigation names.
+func parseModes(s string) ([]core.Mode, error) {
+	switch s {
+	case "fig4":
+		return harness.Fig4Modes, nil
+	case "all":
+		return harness.AllModes(), nil
+	}
+	var modes []core.Mode
+	seen := map[core.Mode]bool{}
+	for _, name := range strings.Split(s, ",") {
+		m, err := core.ParseMode(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("-modes lists %s twice", m)
+		}
+		seen[m] = true
+		modes = append(modes, m)
+	}
+	return modes, nil
 }
 
 func usageError(format string, args ...any) {

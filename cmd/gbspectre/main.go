@@ -1,13 +1,17 @@
 // Command gbspectre runs the paper's Spectre proofs of concept on the
 // simulated DBT-based processor:
 //
-//	gbspectre [-variant v1|v4] [-mode unsafe|ghostbusters|fence|nospec]
+//	gbspectre [-variant v1|v4] [-mode <mitigation>]
 //	          [-secret hexbytes] [-protect] [-lineflush]
 //	          [-traceout file] [-trace-format text|jsonl|perfetto]
 //	          [-stats] [-json] [-audit] [-audit-json file]
+//	          [-matrix-json file]
 //
-// With no flags it runs both variants under every mitigation mode (the
-// Section V-A matrix). -traceout captures the attack's full event
+// With no flags it runs both variants under every registered mitigation
+// (the Section V-A matrix extended with the ported mitigation zoo);
+// -matrix-json additionally writes the machine-readable leakage matrix
+// (schema ghostbusters/leakmatrix/v1) with per-cell ground-truth bits
+// leaked and slowdown versus unsafe. -traceout captures the attack's full event
 // stream — block dispatches, speculative loads and squashes, cache
 // flushes — timed in simulated cycles; with -trace-format perfetto the
 // file loads directly in ui.perfetto.dev, making the transient window
@@ -50,23 +54,48 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -stats, print the metrics snapshot (machine + attack.*) as JSON")
 	audit := flag.Bool("audit", false, "collect poison provenance and print the audit table")
 	auditJSON := flag.String("audit-json", "", "write the audit as JSON (schema ghostbusters/audit/v1) to this file")
+	matrixJSON := flag.String("matrix-json", "", "matrix mode: write the leakage matrix as JSON (schema ghostbusters/leakmatrix/v1) to this file")
 	flag.Parse()
 
 	cfg := ghostbusters.DefaultConfig()
 
 	if *variant == "" {
-		for flagName, set := range map[string]bool{
-			"-traceout": *traceOut != "", "-stats": *stats,
-			"-audit": *audit, "-audit-json": *auditJSON != "",
-		} {
-			if set {
-				fail(fmt.Errorf("%s needs a single run: pick a -variant", flagName))
-			}
+		// Matrix mode fixes its own variants, modes and parameters, so
+		// every single-run flag is meaningless here. Reject them all at
+		// once — flag.Visit walks only explicitly-set flags, in
+		// lexicographical order, so the error is complete and stable
+		// rather than whichever map key a range happened to yield.
+		singleRunOnly := map[string]bool{
+			"audit": true, "audit-json": true, "json": true,
+			"lineflush": true, "mode": true, "protect": true,
+			"secret": true, "stats": true, "trace-format": true,
+			"traceout": true,
 		}
-		table, err := ghostbusters.RunPoCMatrix(cfg)
+		var offending []string
+		flag.Visit(func(f *flag.Flag) {
+			if singleRunOnly[f.Name] {
+				offending = append(offending, "-"+f.Name)
+			}
+		})
+		if len(offending) > 0 {
+			verb := "needs"
+			if len(offending) > 1 {
+				verb = "need"
+			}
+			fail(fmt.Errorf("%s %s a single run: pick a -variant", strings.Join(offending, ", "), verb))
+		}
+		table, lm, err := ghostbusters.RunLeakageMatrix(cfg)
 		fail(err)
 		fmt.Print(table)
+		if *matrixJSON != "" {
+			out, err := lm.JSON()
+			fail(err)
+			fail(os.WriteFile(*matrixJSON, out, 0o644))
+		}
 		return
+	}
+	if *matrixJSON != "" {
+		fail(fmt.Errorf("-matrix-json applies to the matrix: drop -variant"))
 	}
 
 	var v ghostbusters.AttackVariant

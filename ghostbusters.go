@@ -59,9 +59,21 @@ const (
 	// ModeNoSpeculation turns speculation off entirely (the paper's
 	// naive countermeasure).
 	ModeNoSpeculation = core.ModeNoSpeculation
+
+	// ModeLoadFence pins every load (the blanket LOADLFENCE strawman,
+	// ported into the mitigation-pass pipeline).
+	ModeLoadFence = core.ModeLoadFence
+	// ModeSFIClamp masks each risky address with an inserted predicate
+	// chain (Venkman/Swivel-style SFI); the access keeps speculating
+	// with a harmless address.
+	ModeSFIClamp = core.ModeSFIClamp
+	// ModeFenceMin pins the minimal cut of the poison data-flow graph
+	// (Blade-style) instead of every sink.
+	ModeFenceMin = core.ModeFenceMin
 )
 
-// ParseMode resolves "unsafe", "ghostbusters", "fence" or "nospec".
+// ParseMode resolves a mitigation mode name: "unsafe", "ghostbusters",
+// "fence", "nospec", "loadfence", "sfi-clamp" or "fence-min".
 func ParseMode(s string) (Mode, error) { return core.ParseMode(s) }
 
 // Config describes a machine instance: mitigation mode, cache geometry,
@@ -232,6 +244,11 @@ type Row = harness.Row
 // Fig4Modes are the modes the evaluation compares.
 var Fig4Modes = harness.Fig4Modes
 
+// AllModes returns every mitigation mode registered in the pass
+// pipeline, in mode-value order (the four paper modes plus the ported
+// mitigation zoo).
+func AllModes() []Mode { return harness.AllModes() }
+
 // Runner is the parallel experiment engine: it fans a (benchmark x
 // mode) matrix out over a bounded worker pool, one fresh machine per
 // job, with context cancellation, per-run wall-clock timeouts and
@@ -271,9 +288,29 @@ func FormatRows(rows []*Row, modes []Mode) string {
 	return harness.FormatRows(rows, modes)
 }
 
-// RunPoCMatrix runs the Section V-A proof-of-concept matrix and renders
-// it as a table.
+// RunPoCMatrix runs the Section V-A proof-of-concept matrix — both
+// attack variants under every registered mitigation — and renders it as
+// a table.
 func RunPoCMatrix(cfg Config) (string, error) {
 	table, _, err := harness.PoCMatrix(cfg)
 	return table, err
+}
+
+// LeakMatrix is the machine-readable variants × mitigations leakage
+// matrix (schema LeakMatrixSchema): per cell, the scoreboard's
+// ground-truth bits leaked and the attack's slowdown versus the unsafe
+// baseline.
+type LeakMatrix = attack.LeakMatrix
+
+// LeakMatrixSchema identifies the leakage matrix JSON document format.
+const LeakMatrixSchema = attack.LeakMatrixSchema
+
+// RunLeakageMatrix runs the proof-of-concept matrix once and returns
+// both the rendered table and the machine-readable leakage matrix.
+func RunLeakageMatrix(cfg Config) (string, *LeakMatrix, error) {
+	table, entries, err := harness.PoCMatrix(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	return table, attack.BuildLeakMatrix(entries), nil
 }

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/core/pipeline"
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/riscv"
 )
@@ -413,12 +414,14 @@ type MatrixEntry struct {
 	Result  *Result
 }
 
-// RunMatrix evaluates both attacks under the four mitigation modes with
-// the base machine configuration.
+// RunMatrix evaluates both attacks under every registered mitigation
+// mode with the base machine configuration. The mode list derives from
+// the mitigation-pass registry, so a newly registered pipeline appears
+// in the matrix automatically.
 func RunMatrix(base dbt.Config, params Params) ([]MatrixEntry, error) {
 	var out []MatrixEntry
 	for _, v := range []Variant{V1, V4} {
-		for _, mode := range []core.Mode{core.ModeUnsafe, core.ModeGhostBusters, core.ModeFence, core.ModeNoSpeculation} {
+		for _, mode := range pipeline.Modes() {
 			cfg := base
 			cfg.Mitigation = mode
 			res, err := Run(v, cfg, params)

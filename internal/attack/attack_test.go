@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/core/pipeline"
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/vliw"
 )
@@ -63,6 +64,47 @@ func TestMitigationsStopV4(t *testing.T) {
 		if res.BytesCorrect != 0 {
 			t.Errorf("%s: v4 recovered %d/%d bytes; mitigation failed", mode, res.BytesCorrect, len(res.Secret))
 		}
+	}
+}
+
+// The ported mitigation zoo must close the side channel at the ground
+// truth: the scoreboard counts the secret-dependent cache lines the
+// victim speculatively filled, independent of whether the attacker's
+// timing loop decoded them.
+func TestPortedMitigationsLeakZeroBits(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeLoadFence, core.ModeSFIClamp, core.ModeFenceMin} {
+		for _, v := range []Variant{V1, V4} {
+			res, err := Run(v, cfgWithMode(mode), Params{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", v, mode, err)
+			}
+			if res.Leakage == nil {
+				t.Fatalf("%s/%s: no scoreboard", v, mode)
+			}
+			if res.Leakage.BitsLeaked != 0 || res.Leakage.LeakedBytes != 0 {
+				t.Errorf("%s/%s: ground truth says %d bits (%d bytes) leaked",
+					v, mode, res.Leakage.BitsLeaked, res.Leakage.LeakedBytes)
+			}
+			if res.BytesCorrect != 0 {
+				t.Errorf("%s/%s: attacker recovered %d bytes", v, mode, res.BytesCorrect)
+			}
+		}
+	}
+}
+
+// sfi-clamp is the one mitigation that neutralises the leak while
+// keeping the risky loads speculative — the distinguishing property of
+// masking over fencing.
+func TestSFIClampKeepsSpeculating(t *testing.T) {
+	res, err := Run(V1, cfgWithMode(core.ModeSFIClamp), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SpecLoads == 0 {
+		t.Error("sfi-clamp issued no speculative loads; masking should preserve speculation")
+	}
+	if res.Leakage.BitsLeaked != 0 {
+		t.Errorf("sfi-clamp leaked %d bits", res.Leakage.BitsLeaked)
 	}
 }
 
@@ -140,8 +182,8 @@ func TestRunMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 8 {
-		t.Fatalf("matrix has %d entries, want 8", len(entries))
+	if want := 2 * len(pipeline.Modes()); len(entries) != want {
+		t.Fatalf("matrix has %d entries, want %d (2 variants x all registered modes)", len(entries), want)
 	}
 	for _, e := range entries {
 		vulnerable := e.Mode == core.ModeUnsafe

@@ -53,6 +53,25 @@ const (
 	// ModeNoSpeculation disables both speculation mechanisms globally
 	// (the paper's naive countermeasure, "No speculation" in Fig. 4).
 	ModeNoSpeculation
+
+	// The modes below are alternative mitigations ported into the pass
+	// pipeline (internal/core/pipeline) from the related work; they are
+	// not part of the paper's Figure 4 comparison.
+
+	// ModeLoadFence pins every load (no load ever executes
+	// speculatively) — the blanket LOADLFENCE strawman: analysis-free,
+	// safe, and between ghostbusters and nospec in cost.
+	ModeLoadFence
+	// ModeSFIClamp clamps the address of each risky access with an
+	// inserted predicate/mask chain (Venkman/Swivel-style SFI, SLH's
+	// masking applied to the DBT IR); the access keeps speculating with
+	// a harmless address. Store-guarded (v4) patterns fall back to
+	// ghostbusters pinning.
+	ModeSFIClamp
+	// ModeFenceMin places the minimal set of pins that cuts every
+	// source→sink path in the poison data-flow graph (Blade-style
+	// min-cut) instead of pinning every sink.
+	ModeFenceMin
 )
 
 var modeNames = map[Mode]string{
@@ -60,6 +79,9 @@ var modeNames = map[Mode]string{
 	ModeGhostBusters:  "ghostbusters",
 	ModeFence:         "fence",
 	ModeNoSpeculation: "nospec",
+	ModeLoadFence:     "loadfence",
+	ModeSFIClamp:      "sfi-clamp",
+	ModeFenceMin:      "fence-min",
 }
 
 func (m Mode) String() string {
@@ -76,7 +98,7 @@ func ParseMode(s string) (Mode, error) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown mitigation mode %q (want unsafe|ghostbusters|fence|nospec)", s)
+	return 0, fmt.Errorf("core: unknown mitigation mode %q (want unsafe|ghostbusters|fence|nospec|loadfence|sfi-clamp|fence-min)", s)
 }
 
 // Report describes what the analysis found and changed in one block.
@@ -345,6 +367,13 @@ func ApplyAudited(b *ir.Block, mode Mode) (Report, *ir.AuditReport) {
 	return rep, aud
 }
 
+// ApplyInto is Apply writing the audit into a caller-owned report (nil
+// aud skips all provenance bookkeeping). The pass pipeline uses it so
+// one AuditReport spans every pass applied to the block.
+func ApplyInto(b *ir.Block, mode Mode, aud *ir.AuditReport) Report {
+	return applyWith(b, mode, aud)
+}
+
 func applyWith(b *ir.Block, mode Mode, aud *ir.AuditReport) Report {
 	if mode == ModeNoSpeculation {
 		rep, _ := analyze(b, aud)
@@ -357,13 +386,9 @@ func applyWith(b *ir.Block, mode Mode, aud *ir.AuditReport) Report {
 		// report only
 	case ModeGhostBusters:
 		for _, load := range rep.RiskyLoads {
-			b.PinInto(load)
-			for g := range pins[load] {
-				if !hasGuardEdge(b, g, load) {
-					b.AddEdge(ir.Edge{From: g, To: load, Kind: ir.EdgeGuard})
-					rep.GuardEdges++
-				}
-			}
+			// Guard order must be deterministic: b.Edges order decides
+			// gbdump -dot bytes and every audit guard-edge scan.
+			rep.GuardEdges += PinRisky(b, load, sortedKeys(pins[load]))
 		}
 	case ModeFence:
 		for _, g := range rep.Guards {
@@ -374,6 +399,36 @@ func applyWith(b *ir.Block, mode Mode, aud *ir.AuditReport) Report {
 		aud.GuardEdges = rep.GuardEdges
 	}
 	return rep
+}
+
+// AnalyzePins runs the poison analysis and additionally returns, for
+// every risky load, the sorted guard list the mitigation must order it
+// after. aud may be nil (no provenance bookkeeping). This is the
+// entry point the pass pipeline builds alternative mitigations on.
+func AnalyzePins(b *ir.Block, aud *ir.AuditReport) (Report, map[int][]int) {
+	rep, pins := analyze(b, aud)
+	out := make(map[int][]int, len(pins))
+	for load, g := range pins {
+		out[load] = sortedKeys(g)
+	}
+	return rep, out
+}
+
+// PinRisky applies the ghostbusters treatment to one risky load: the
+// load is made non-speculative and receives a hard guard edge from
+// every listed guard (deduplicated). It returns the number of guard
+// edges inserted. guards must be in the order edges should append —
+// callers pass sorted lists so b.Edges stays deterministic.
+func PinRisky(b *ir.Block, load int, guards []int) int {
+	b.PinInto(load)
+	added := 0
+	for _, g := range guards {
+		if !hasGuardEdge(b, g, load) {
+			b.AddEdge(ir.Edge{From: g, To: load, Kind: ir.EdgeGuard})
+			added++
+		}
+	}
+	return added
 }
 
 func hasGuardEdge(b *ir.Block, from, to int) bool {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"ghostbusters/internal/ir"
@@ -237,7 +238,7 @@ func TestPoisonedStoreDataIsNotAPattern(t *testing.T) {
 }
 
 func TestModeParseAndString(t *testing.T) {
-	for _, m := range []Mode{ModeUnsafe, ModeGhostBusters, ModeFence, ModeNoSpeculation} {
+	for _, m := range []Mode{ModeUnsafe, ModeGhostBusters, ModeFence, ModeNoSpeculation, ModeLoadFence, ModeSFIClamp, ModeFenceMin} {
 		got, err := ParseMode(m.String())
 		if err != nil || got != m {
 			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
@@ -245,6 +246,54 @@ func TestModeParseAndString(t *testing.T) {
 	}
 	if _, err := ParseMode("bogus"); err == nil {
 		t.Error("ParseMode(bogus) should fail")
+	}
+}
+
+// multiGuardBlock has a risky load guarded by TWO branches: the secret
+// read crosses both, so the leaking load's guard set has two members.
+func multiGuardBlock(t *testing.T) *ir.Block {
+	t.Helper()
+	bu := ir.NewBuilder(0x7000)
+	n0 := bu.Emit(ir.Inst{Op: riscv.SLT, A: ir.RegIn(10), B: ir.RegIn(11), DestArch: 5})
+	bu.Emit(ir.Inst{Op: riscv.BEQ, A: ir.FromInst(n0), DestArch: -1, BranchExit: 0x7100})
+	n2 := bu.Emit(ir.Inst{Op: riscv.SLTU, A: ir.RegIn(12), B: ir.RegIn(13), DestArch: 6})
+	bu.Emit(ir.Inst{Op: riscv.BNE, A: ir.FromInst(n2), DestArch: -1, BranchExit: 0x7200})
+	n4 := bu.Emit(ir.Inst{Op: riscv.LBU, A: ir.RegIn(14), DestArch: 7})
+	bu.Emit(ir.Inst{Op: riscv.LBU, A: ir.FromInst(n4), DestArch: 8})
+	b := bu.Block()
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Regression: applyWith used to range over the guard-set map when
+// pinning a risky load, so with more than one guard the inserted guard
+// edges landed in map-iteration order — two runs on identical blocks
+// could disagree on b.Edges and on the rendered DOT. The pinning now
+// walks sorted guard indices; repeated applications must be
+// byte-identical.
+func TestApplyGhostBustersDeterministic(t *testing.T) {
+	apply := func() ([]ir.Edge, string) {
+		b := multiGuardBlock(t)
+		rep, aud := ApplyAudited(b, ModeGhostBusters)
+		if len(rep.RiskyLoads) != 1 {
+			t.Fatalf("RiskyLoads = %v, want one", rep.RiskyLoads)
+		}
+		if rep.GuardEdges < 2 {
+			t.Fatalf("GuardEdges = %d, want >= 2 (the block must exercise multi-guard pinning)", rep.GuardEdges)
+		}
+		return b.Edges, b.Dot(aud.Overlay())
+	}
+	edges0, dot0 := apply()
+	for i := 1; i < 8; i++ {
+		edges, dot := apply()
+		if !reflect.DeepEqual(edges, edges0) {
+			t.Fatalf("run %d produced different edges:\n%v\nvs\n%v", i, edges, edges0)
+		}
+		if dot != dot0 {
+			t.Fatalf("run %d produced a different DOT rendering", i)
+		}
 	}
 }
 

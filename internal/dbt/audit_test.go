@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/core/pipeline"
 )
 
 // auditGadgetSrc runs the Fig. 1 gadget hot enough to be translated
@@ -186,5 +187,36 @@ func TestDumpIROverlay(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("no translated region renders a pinned overlay (first pc %#x)", pc)
+	}
+}
+
+// gbdump -dot must be reproducible: repeated dumps of the same region
+// under every registered mitigation are byte-identical — including the
+// passes that insert instructions or pin multi-guard loads, where a
+// stray map iteration would reorder nodes or edges.
+func TestDumpIRDeterministic(t *testing.T) {
+	for _, mode := range pipeline.Modes() {
+		cfg := DefaultConfig()
+		cfg.Mitigation = mode
+		_, m := runSrc(t, auditGadgetSrc, cfg)
+		pcs := m.TranslatedPCs()
+		if len(pcs) == 0 {
+			t.Fatalf("%s: nothing translated", mode)
+		}
+		for _, pc := range pcs {
+			first, err := m.DumpIR(pc)
+			if err != nil {
+				t.Fatalf("%s @%#x: %v", mode, pc, err)
+			}
+			for i := 0; i < 3; i++ {
+				again, err := m.DumpIR(pc)
+				if err != nil {
+					t.Fatalf("%s @%#x: %v", mode, pc, err)
+				}
+				if again != first {
+					t.Fatalf("%s @%#x: dump %d differs from the first", mode, pc, i)
+				}
+			}
+		}
 	}
 }

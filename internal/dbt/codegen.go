@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/core/pipeline"
 	"ghostbusters/internal/ir"
 	"ghostbusters/internal/riscv"
 	"ghostbusters/internal/vliw"
@@ -14,6 +15,10 @@ import (
 type CompileResult struct {
 	Block  *vliw.Block
 	Report core.Report
+
+	// Passes is the per-pass breakdown of the mitigation pipeline the
+	// mode resolved to, in application order.
+	Passes []pipeline.PassReport
 
 	// Audit carries the per-block provenance report and the mitigated
 	// IR block it describes, populated only when compileOpts.Audit is
@@ -45,12 +50,17 @@ func compileWith(b *ir.Block, guestInsts int, cfg *vliw.Config, mode core.Mode, 
 	if err := b.Verify(); err != nil {
 		return nil, err
 	}
+	pl, err := pipeline.For(mode)
+	if err != nil {
+		return nil, err
+	}
 	var rep core.Report
 	var aud *ir.AuditReport
+	var passes []pipeline.PassReport
 	if opts.Audit {
-		rep, aud = core.ApplyAudited(b, mode)
+		rep, aud, passes = pl.ApplyAudited(b)
 	} else {
-		rep = core.Apply(b, mode)
+		rep, passes = pl.Apply(b)
 	}
 
 	try := func(ctrlSpec, memSpec bool) (*vliw.Block, error) {
@@ -75,7 +85,7 @@ func compileWith(b *ir.Block, guestInsts int, cfg *vliw.Config, mode core.Mode, 
 	if err != nil {
 		return nil, err
 	}
-	res := &CompileResult{Block: blk, Report: rep}
+	res := &CompileResult{Block: blk, Report: rep, Passes: passes}
 	if opts.Audit {
 		res.Audit, res.AuditIR = aud, b
 	}

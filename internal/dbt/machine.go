@@ -9,6 +9,7 @@ import (
 	"ghostbusters/internal/bus"
 	"ghostbusters/internal/cache"
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/core/pipeline"
 	"ghostbusters/internal/guestmem"
 	"ghostbusters/internal/ir"
 	"ghostbusters/internal/obs"
@@ -752,7 +753,11 @@ func (m *Machine) DumpIR(pc uint64) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("dbt: DumpIR(%#x): %w", pc, err)
 	}
-	_, aud := core.ApplyAudited(irBlk, m.cfg.Mitigation)
+	pl, err := pipeline.For(m.cfg.Mitigation)
+	if err != nil {
+		return "", fmt.Errorf("dbt: DumpIR(%#x): %w", pc, err)
+	}
+	_, aud, _ := pl.ApplyAudited(irBlk)
 	return irBlk.Dot(aud.Overlay()), nil
 }
 

@@ -218,6 +218,12 @@ func buildGraph(b *ir.Block, cfg *vliw.Config, allowCtrlSpec, allowMemSpec bool)
 	// branches and barriers never produce register results.
 	hiddenDest := make([]bool, n)
 	for i := 0; i < n; i++ {
+		if b.Insts[i].DestArch == ir.TempDest {
+			// Mitigation temporaries live only in hidden registers and
+			// are never committed (no commit node below).
+			hiddenDest[i] = true
+			continue
+		}
 		if b.Insts[i].DestArch <= 0 {
 			continue
 		}
@@ -437,9 +443,10 @@ func buildGraph(b *ir.Block, cfg *vliw.Config, allowCtrlSpec, allowMemSpec bool)
 		}
 	}
 
-	// Commit nodes for hidden-destination instructions.
+	// Commit nodes for hidden-destination instructions. TempDest
+	// temporaries define no architectural register: nothing to publish.
 	for i := 0; i < n; i++ {
-		if !hiddenDest[i] {
+		if !hiddenDest[i] || b.Insts[i].DestArch == ir.TempDest {
 			continue
 		}
 		id := len(g.nodes)

@@ -7,7 +7,7 @@ import (
 
 	"ghostbusters/internal/bus"
 	"ghostbusters/internal/cache"
-	"ghostbusters/internal/core"
+	"ghostbusters/internal/core/pipeline"
 	"ghostbusters/internal/guestmem"
 	"ghostbusters/internal/ir"
 	"ghostbusters/internal/riscv"
@@ -152,7 +152,9 @@ func genBlock(r *rand.Rand) *ir.Block {
 
 func TestSchedulerTorture(t *testing.T) {
 	r := rand.New(rand.NewSource(1234))
-	modes := []core.Mode{core.ModeUnsafe, core.ModeGhostBusters, core.ModeFence, core.ModeNoSpeculation}
+	// Every registered mitigation pipeline faces the torture blocks, so
+	// a newly ported mitigation is differentially checked automatically.
+	modes := pipeline.Modes()
 	cores := []vliw.Config{vliw.NarrowConfig(), vliw.DefaultConfig(), vliw.WideConfig()}
 
 	trials := 400

@@ -153,8 +153,8 @@ func TestPoCMatrixShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 8 {
-		t.Fatalf("entries = %d", len(entries))
+	if want := 2 * len(AllModes()); len(entries) != want {
+		t.Fatalf("entries = %d, want %d (2 variants x all registered modes)", len(entries), want)
 	}
 	if !strings.Contains(table, "spectre-v1") || !strings.Contains(table, "ghostbusters") {
 		t.Fatalf("table malformed:\n%s", table)

@@ -56,6 +56,11 @@ type ProvenanceChain struct {
 	Source int    // == Path[0], the poison-generating speculative load
 	Path   []int
 	Guards []GuardRef
+
+	// Pass names the mitigation pipeline pass that produced (or, for
+	// detection-only modes, explained) this chain. Empty when the
+	// report was produced outside a pipeline (direct core.ApplyAudited).
+	Pass string
 }
 
 // Depth is the number of data-flow steps from source to node; a source
@@ -85,6 +90,22 @@ type AuditReport struct {
 	// address and which guards the mitigation anchors it to.
 	Poisoned []ProvenanceChain
 	Pinned   []ProvenanceChain
+
+	// Passes attributes the mitigation work to the pipeline passes that
+	// performed it, in application order. Populated only when the block
+	// was mitigated through a pipeline (internal/core/pipeline); direct
+	// core.ApplyAudited leaves it empty.
+	Passes []PassAttribution
+}
+
+// PassAttribution is one pipeline pass's share of the mitigation work
+// on this block.
+type PassAttribution struct {
+	Pass          string // registered pass name
+	RiskyLoads    int    // Spectre-pattern accesses this pass handled
+	GuardEdges    int    // EdgeGuard dependencies it inserted
+	PinnedEdges   int    // relaxable edges it made hard
+	InsertedInsts int    // instructions it added to the block
 }
 
 // verifyChain replays one chain against the block: every claimed

@@ -57,6 +57,17 @@ func (o Operand) String() string {
 	return "-"
 }
 
+// TempDest marks a mitigation-inserted instruction whose result lives
+// only in a hidden register: it is a value producer (other instructions
+// may reference it as an operand) but defines no architectural register
+// and is never committed. The guest ISA never produces TempDest, so a
+// mitigation pass can use it as a reliable marker for its own inserted
+// code (idempotence checks). TempDest instructions are exempt from the
+// renaming invariant: they may read values superseded later in the
+// block — the scheduler's anti-dependence edges order them before the
+// redefinition.
+const TempDest int8 = -2
+
 // Inst is one IR instruction. The operation vocabulary is the guest ISA
 // (the Hybrid-DBT IR stays close to RISC-V); the VLIW backend adds its
 // own speculative opcodes at code generation.
@@ -162,6 +173,39 @@ func (b *Block) AddEdge(e Edge) {
 	b.Edges = append(b.Edges, e)
 }
 
+// InsertInsts inserts insts immediately before instruction at,
+// renumbering every operand and edge reference in the block. Operands
+// of the inserted instructions may reference existing instructions by
+// their pre-insertion index (only indices < at stay meaningful) or
+// earlier inserted instructions by their final index (at+k). Existing
+// references map as: i < at stays i, i >= at becomes i+len(insts).
+func (b *Block) InsertInsts(at int, insts []Inst) {
+	n := len(insts)
+	if n == 0 {
+		return
+	}
+	shift := func(i int) int {
+		if i >= at {
+			return i + n
+		}
+		return i
+	}
+	for i := at; i < len(b.Insts); i++ { // earlier insts only reference earlier indices
+		in := &b.Insts[i]
+		if in.A.Kind == OpInst {
+			in.A.Inst = shift(in.A.Inst)
+		}
+		if in.B.Kind == OpInst {
+			in.B.Inst = shift(in.B.Inst)
+		}
+	}
+	for k := range b.Edges {
+		b.Edges[k].From = shift(b.Edges[k].From)
+		b.Edges[k].To = shift(b.Edges[k].To)
+	}
+	b.Insts = append(b.Insts[:at], append(append([]Inst{}, insts...), b.Insts[at:]...)...)
+}
+
 // InEdges returns the indices of edges pointing at instruction i.
 func (b *Block) InEdges(i int) []int {
 	var out []int
@@ -245,7 +289,11 @@ func (b *Block) Verify() error {
 				// No stale-version reads: once an architectural register
 				// is redefined, values of superseded definitions are
 				// dead (Builder always references the current one).
-				if d := b.Insts[op.Inst].DestArch; d > 0 && defined[d] != op.Inst {
+				// TempDest readers are exempt: a mitigation pass inserts
+				// them at a point where a guard's operand may already be
+				// superseded; the scheduler's anti-dependence edges order
+				// them before the redefinition commits.
+				if d := b.Insts[op.Inst].DestArch; d > 0 && defined[d] != op.Inst && in.DestArch != TempDest {
 					return fmt.Errorf("ir: inst %d reads inst %d's value of x%d, superseded by inst %d (renaming violated)", i, op.Inst, d, defined[d])
 				}
 			}
@@ -253,7 +301,7 @@ func (b *Block) Verify() error {
 				if op.Reg == 0 {
 					return fmt.Errorf("ir: inst %d operand reads x0 as RegIn", i)
 				}
-				if d := defined[op.Reg]; d >= 0 {
+				if d := defined[op.Reg]; d >= 0 && in.DestArch != TempDest {
 					return fmt.Errorf("ir: inst %d reads entry value of x%d, redefined by inst %d (renaming violated)", i, op.Reg, d)
 				}
 			}
@@ -290,6 +338,8 @@ func (b *Block) String() string {
 		dest := "-"
 		if in.DestArch >= 0 {
 			dest = riscv.RegName(uint8(in.DestArch))
+		} else if in.DestArch == TempDest {
+			dest = "tmp"
 		}
 		s += fmt.Sprintf("  n%-3d %-8s dest=%-4s a=%-6s b=%-6s imm=%d", i, in.Op, dest, in.A, in.B, in.Imm)
 		if in.IsBranch() {

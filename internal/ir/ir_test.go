@@ -318,3 +318,100 @@ func TestBuilderAlwaysProducesValidBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInsertInstsRenumbers(t *testing.T) {
+	b := buildSpectreV1(t)
+	before := append([]Inst(nil), b.Insts...)
+	edgesBefore := append([]Edge(nil), b.Edges...)
+	// Insert a two-inst TempDest chain before n3. The first element
+	// references an existing instruction by its pre-insertion index
+	// (0 < at, so it stays meaningful); the second references the first
+	// by its final index at+0 = 3 and an existing one (n2 < at).
+	chain := []Inst{
+		{Op: riscv.XORI, A: FromInst(0), Imm: 1, DestArch: TempDest},
+		{Op: riscv.AND, A: FromInst(3), B: FromInst(2), DestArch: TempDest},
+	}
+	b.InsertInsts(3, chain)
+	if len(b.Insts) != len(before)+2 {
+		t.Fatalf("len = %d, want %d", len(b.Insts), len(before)+2)
+	}
+	if b.Insts[3].A.Inst != 0 {
+		t.Errorf("inserted[0].A = %v, want n0", b.Insts[3].A)
+	}
+	if b.Insts[4].A.Inst != 3 || b.Insts[4].B.Inst != 2 {
+		t.Errorf("inserted[1] operands = %v, %v, want n3 (chain head), n2", b.Insts[4].A, b.Insts[4].B)
+	}
+	// Old n3 moved to index 5; its operand (n2 < at) is unshifted.
+	if b.Insts[5].Op != riscv.SLLI || b.Insts[5].A.Inst != 2 {
+		t.Errorf("shifted slli = %+v", b.Insts[5])
+	}
+	// Old n4 read n3, which is now index 5.
+	if b.Insts[6].A.Inst != 5 {
+		t.Errorf("shifted load reads %v, want n5", b.Insts[6].A)
+	}
+	shift := func(i int) int {
+		if i >= 3 {
+			return i + 2
+		}
+		return i
+	}
+	for k, e := range edgesBefore {
+		got := b.Edges[k]
+		if got.From != shift(e.From) || got.To != shift(e.To) || got.Kind != e.Kind {
+			t.Errorf("edge %d = %+v, want shifted %+v", k, got, e)
+		}
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertInstsEmpty(t *testing.T) {
+	b := buildSpectreV1(t)
+	before := append([]Inst(nil), b.Insts...)
+	b.InsertInsts(2, nil)
+	if len(b.Insts) != len(before) || b.Insts[2].A != before[2].A {
+		t.Fatal("empty insertion changed the block")
+	}
+}
+
+// TempDest instructions may read superseded values (entry value of a
+// redefined register, or an earlier definition's result); the same read
+// from an instruction with an architectural destination violates the
+// renaming invariant.
+func TestVerifyTempDestExemptions(t *testing.T) {
+	mk := func(dest int8) *Block {
+		return &Block{Insts: []Inst{
+			{Op: riscv.ADD, A: RegIn(6), DestArch: 5},
+			{Op: riscv.XORI, A: FromInst(0), Imm: 1, DestArch: 5}, // redefines x5
+			{Op: riscv.ANDI, A: FromInst(0), Imm: 7, DestArch: dest},
+		}}
+	}
+	if err := mk(TempDest).Verify(); err != nil {
+		t.Fatalf("TempDest read of a superseded definition must pass Verify: %v", err)
+	}
+	if err := mk(7).Verify(); err == nil {
+		t.Fatal("architectural read of a superseded definition must fail Verify")
+	}
+	withEntryRead := func(dest int8) *Block {
+		b := mk(TempDest)
+		b.Insts = append(b.Insts, Inst{Op: riscv.ORI, A: RegIn(5), Imm: 1, DestArch: dest})
+		return b
+	}
+	if err := withEntryRead(TempDest).Verify(); err != nil {
+		t.Fatalf("TempDest read of a redefined entry register must pass Verify: %v", err)
+	}
+	if err := withEntryRead(9).Verify(); err == nil {
+		t.Fatal("architectural read of a redefined entry register must fail Verify")
+	}
+}
+
+func TestStringRendersTempDest(t *testing.T) {
+	b := &Block{Insts: []Inst{
+		{Op: riscv.ADD, A: RegIn(6), DestArch: 5},
+		{Op: riscv.XORI, A: FromInst(0), Imm: 1, DestArch: TempDest},
+	}}
+	if s := b.String(); !strings.Contains(s, "tmp") {
+		t.Fatalf("String does not render TempDest as tmp:\n%s", s)
+	}
+}

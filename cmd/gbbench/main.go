@@ -59,6 +59,7 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/harness"
 	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/trap"
 	"ghostbusters/internal/vliw"
 )
@@ -87,6 +88,8 @@ func main() {
 	injectCache := flag.Float64("inject-cache-rate", 0, "probability an architectural access raises a transient cache fault (0..1)")
 	injectIntr := flag.Float64("inject-interrupt-rate", 0, "probability per poll window of an injected spurious interrupt (0..1)")
 	modesFlag := flag.String("modes", "fig4", `modes to sweep (fig4/ptrmm/kernel): "fig4" (the paper's four), "all" (every registered mitigation), or a comma-separated list of mode names`)
+	useTCache := flag.Bool("tcache", false, "persist translated code across runs (default cache dir)")
+	tcacheDir := flag.String("tcache-dir", "", "translation cache directory (implies -tcache)")
 	flag.Parse()
 
 	modes, err := parseModes(*modesFlag)
@@ -143,6 +146,26 @@ func main() {
 		}
 	}
 
+	var transCache *tcache.Cache
+	if *useTCache || *tcacheDir != "" {
+		dir := *tcacheDir
+		if dir == "" {
+			dir, err = tcache.DefaultDir()
+			fail(err)
+		}
+		transCache = tcache.New(dir)
+		// Cache effectiveness goes to stderr at exit; stdout stays
+		// byte-identical with the cache off (the -checkperf contract).
+		defer func() {
+			hits, misses, persisted := transCache.Stats()
+			fmt.Fprintf(os.Stderr, "gbbench: tcache: %d hits, %d misses, %d documents written\n",
+				hits, misses, persisted)
+			if err := transCache.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "gbbench: warning:", err)
+			}
+		}()
+	}
+
 	runner := &harness.Runner{
 		Workers:        *jobs,
 		Timeout:        *timeout,
@@ -150,6 +173,7 @@ func main() {
 		Retries:        *retries,
 		Backoff:        *retryBackoff,
 		TolerateFaults: *tolerateFaults,
+		TransCache:     transCache,
 	}
 	ctx := context.Background()
 

@@ -4,7 +4,8 @@
 //	gbrun [-mode unsafe|ghostbusters|fence|nospec] [-width 2|4|8]
 //	      [-interp] [-stats] [-json] [-trace] [-traceout file]
 //	      [-trace-format text|jsonl|perfetto] [-profile]
-//	      [-audit] [-audit-json file] program.s
+//	      [-audit] [-audit-json file]
+//	      [-tcache] [-tcache-dir dir] program.s
 //
 // The exit status is the guest's exit code when the guest runs to
 // completion. Failures use distinct codes:
@@ -30,6 +31,12 @@
 // ghostbusters/audit/v1); either flag enables collection. Auditing only
 // costs translation time — the generated code is identical.
 //
+// -tcache persists translated regions across runs (in the user cache
+// dir, or under -tcache-dir): a warm run of the same program and
+// configuration compiles nothing — `-stats -json` reports
+// dbt.translations = 0 — while every guest-visible number stays
+// bit-identical to a cold run.
+//
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (host-side performance, not guest cycles).
 package main
@@ -43,6 +50,7 @@ import (
 	"runtime/pprof"
 
 	"ghostbusters"
+	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/vliw"
 )
 
@@ -64,6 +72,8 @@ func main() {
 	auditJSON := flag.String("audit-json", "", "write the audit as JSON (schema ghostbusters/audit/v1) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	useTCache := flag.Bool("tcache", false, "persist translated code across runs (default cache dir)")
+	tcacheDir := flag.String("tcache-dir", "", "translation cache directory (implies -tcache)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -91,6 +101,8 @@ func main() {
 	cfg.DisableTranslation = *interp
 	cfg.Audit = *audit || *auditJSON != ""
 	cfg.Tracer = buildTracer(*trace, *traceOut, *traceFormat)
+	transCache := buildTransCache(*useTCache, *tcacheDir)
+	cfg.TransCache = transCache
 
 	prog, err := ghostbusters.Assemble(string(src))
 	fail(err)
@@ -138,8 +150,27 @@ func main() {
 	}
 	// os.Exit skips deferred calls, so profiles and the trace are flushed
 	// explicitly before propagating the guest's exit code.
+	if transCache != nil {
+		if err := transCache.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "gbrun: warning:", err)
+		}
+	}
 	shutdown()
 	os.Exit(int(res.Exit.Code))
+}
+
+// buildTransCache wires the persistent translation cache when
+// requested: an explicit directory, or the user cache dir by default.
+func buildTransCache(enabled bool, dir string) *tcache.Cache {
+	if !enabled && dir == "" {
+		return nil
+	}
+	if dir == "" {
+		var err error
+		dir, err = tcache.DefaultDir()
+		fail(err)
+	}
+	return tcache.New(dir)
 }
 
 // writeAudit prints the explainability table and/or writes the JSON

@@ -14,6 +14,7 @@ import (
 	"ghostbusters/internal/ir"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/trap"
 	"ghostbusters/internal/vliw"
 )
@@ -59,6 +60,41 @@ type Config struct {
 
 	DisableTranslation bool // pure interpreter (debugging/reference)
 	DisableTraces      bool // first-pass blocks only
+
+	// DisableChaining turns off direct block chaining: every translated
+	// block dispatch then goes through the outer loop's translation-
+	// cache lookup and register-file copies. Chaining is a pure host-
+	// side accelerator — guest-visible behaviour (cycle counts,
+	// results, trap identity) is identical either way, and the
+	// differential tests assert it. Chaining also disables itself
+	// whenever a tracer or fault injector is active, so per-dispatch
+	// observation windows stay exact.
+	DisableChaining bool
+
+	// ChainBudget caps how many translated blocks may run back-to-back
+	// before the chained inner loop surfaces to the outer dispatch
+	// loop (profiling fairness and prompt interrupt delivery). 0 means
+	// the default of 64.
+	ChainBudget int
+
+	// TransCache, when non-nil, is the persistent translation cache:
+	// compiled regions are looked up before invoking the DBT engine and
+	// recorded after fresh compilations, keyed by guest image, run
+	// inputs (TCacheSalt), mitigation mode and the full machine
+	// configuration. Correct by the simulator's determinism — a cached
+	// region installs at exactly the profiling instant a fresh
+	// translation would have, with the same cycle charge and report —
+	// so guest-visible behaviour is bit-identical with or without it.
+	// The machine ignores the cache whenever that premise is at risk:
+	// fault injection, Audit, VerifyEncoding, DisableTranslation, and
+	// (mid-run) guest stores into its own text.
+	TransCache *tcache.Cache
+
+	// TCacheSalt folds run identity living outside the guest image into
+	// the translation-cache key — the harness hashes the input arrays it
+	// writes into guest memory after load, since they steer profiling
+	// and therefore trace formation. Ignored without TransCache.
+	TCacheSalt string
 
 	// DisablePredecode turns off the interpreter's decoded-instruction
 	// side table, forcing a fetch+decode on every interpreted
@@ -149,6 +185,21 @@ type Stats struct {
 	Deopts      int // adaptive retranslations (memory speculation off)
 	CompileErrs int
 
+	// Translations counts fresh compilations by this machine's own DBT
+	// engine. It stays behind Blocks+Traces when regions were installed
+	// from a persistent translation cache instead of being compiled — a
+	// fully warm run reports 0.
+	Translations int
+
+	// TCacheHits / TCacheMisses count persistent-translation-cache
+	// probes (zero when no cache is configured).
+	TCacheHits   int
+	TCacheMisses int
+
+	// SMCInvalidations counts translated regions dropped because a
+	// guest store overwrote code they cover (self-modifying code).
+	SMCInvalidations uint64
+
 	// From the VLIW core.
 	Bundles    uint64
 	SideExits  uint64
@@ -190,6 +241,20 @@ type Result struct {
 type transEntry struct {
 	blk     *vliw.Block
 	isTrace bool
+
+	// lo/hi is the guest text extent [lo, hi) this region was
+	// translated from; a guest store into it invalidates the region
+	// (self-modifying code).
+	lo, hi uint64
+
+	// Direct-chaining link cache: resolved successors of this region,
+	// patched lazily on first chained dispatch. linkEpoch validates the
+	// links against Machine.chainEpoch — any mutation of the
+	// translation cache bumps the epoch and thereby severs every link
+	// in one step (see chain.go).
+	links      [chainLinks]chainLink
+	linkEpoch  uint64
+	linkVictim uint8
 
 	// Adaptive-retranslation bookkeeping.
 	execs     uint64
@@ -242,10 +307,35 @@ type Machine struct {
 
 	cycles uint64
 
-	entries  map[uint64]uint64
+	// ts owns the translation-state maps below; they are leased from a
+	// package pool and returned by Release, so the harness's
+	// create/release churn reuses map storage instead of thrashing the
+	// GC. entries values are pointers so chain links can bump a
+	// block's profile counter without a map lookup.
+	ts       *transState
+	entries  map[uint64]*uint64
 	branches map[uint64]*brStat
 	trans    map[uint64]*transEntry
 	noTrans  map[uint64]struct{}
+
+	// chainEpoch versions the chain links cached on transEntries: it
+	// starts at 1 and is bumped by every translation-cache mutation
+	// (install, deopt, blacklist, SMC invalidation), lazily severing
+	// all links. transLo/transHi bound the guest text covered by any
+	// translated region, so the store hook can reject non-code stores
+	// with two compares.
+	chainEpoch uint64
+	transLo    uint64
+	transHi    uint64
+
+	// tcr is this run's view of the persistent translation cache (nil
+	// when no cache is configured or the run is ineligible). A guest
+	// store into [textLo, textHi) — self-modifying code — abandons it:
+	// cached regions describe the original image. textLo/textHi is the
+	// loaded program's text extent.
+	tcr    *tcache.Run
+	textLo uint64
+	textHi uint64
 
 	inj *injector
 
@@ -282,15 +372,19 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	ts := transPool.Get().(*transState)
 	m := &Machine{
-		cfg:      cfg,
-		mem:      mem,
-		b:        b,
-		core:     c,
-		entries:  make(map[uint64]uint64),
-		branches: make(map[uint64]*brStat),
-		trans:    make(map[uint64]*transEntry),
-		noTrans:  make(map[uint64]struct{}),
+		cfg:        cfg,
+		mem:        mem,
+		b:          b,
+		core:       c,
+		ts:         ts,
+		entries:    ts.entries,
+		branches:   ts.branches,
+		trans:      ts.trans,
+		noTrans:    ts.noTrans,
+		chainEpoch: 1,
+		transLo:    ^uint64(0),
 	}
 	if cfg.FaultInject.enabled() {
 		m.inj = newInjector(*cfg.FaultInject)
@@ -345,19 +439,68 @@ func (m *Machine) Load(p *riscv.Program) error {
 	}
 	if !m.cfg.DisablePredecode {
 		m.pred = riscv.NewPredecode(p.TextBase, len(p.Text))
-		m.b.OnStore = m.pred.Invalidate
+	}
+	// The store hook serves two invalidation duties: interpreter
+	// predecode entries and translated regions (plus their chain
+	// links). It is wired even with predecode disabled — translated
+	// code must never survive the guest overwriting it.
+	m.b.OnStore = m.onGuestStore
+	m.textLo = p.TextBase
+	m.textHi = p.TextBase + uint64(4*len(p.Text))
+	if m.cfg.TransCache != nil && m.tcacheEligible() {
+		key := tcache.RunKey(p, m.cfg.Mitigation.String(), m.tcFingerprint(), m.cfg.TCacheSalt)
+		m.tcr = m.cfg.TransCache.Run(key)
 	}
 	m.state = riscv.State{PC: p.Entry}
 	m.state.X[2] = m.mem.Top() - 64 // sp
 	return nil
 }
 
-// Release recycles the machine's guest memory into the reuse pool. Call
-// it once all results have been read out of the machine; the machine
-// (including Mem) must not be used afterwards. Release is idempotent,
-// and skipping it is always safe — the memory is then simply collected
-// by the GC instead of being reused.
+// tcacheEligible reports whether this run may use the translation
+// cache: anything that perturbs or observes the translation process
+// itself (fault injection, auditing, encode-verification) opts out, as
+// does a machine that never translates.
+func (m *Machine) tcacheEligible() bool {
+	return !m.cfg.DisableTranslation && !m.cfg.Audit &&
+		!m.cfg.VerifyEncoding && m.inj == nil
+}
+
+// tcFingerprint renders every configuration field that can influence
+// translation output or the run's translation schedule. Runtime-only
+// hooks (tracer, interrupt channel, the cache handle itself) are
+// scrubbed; everything else — core geometry, cache model, interpreter
+// timing, thresholds, mitigation knobs — is part of the key, so a
+// config change can never be served stale code.
+func (m *Machine) tcFingerprint() string {
+	c := m.cfg
+	c.Tracer = nil
+	c.Interrupt = nil
+	c.FaultInject = nil
+	c.TransCache = nil
+	c.TCacheSalt = ""
+	return fmt.Sprintf("%+v", c)
+}
+
+// Release recycles the machine's guest memory and translation state
+// into their reuse pools. Call it once all results have been read out
+// of the machine; the machine (including Mem) must not be used
+// afterwards. Release is idempotent, and skipping it is always safe —
+// everything is then simply collected by the GC instead of being
+// reused.
 func (m *Machine) Release() {
+	if m.ts != nil {
+		// Return the translation-state maps (entries/branches/trans/
+		// noTrans) to the pool with their bucket storage intact; the
+		// translated blocks themselves are dropped here.
+		clear(m.ts.entries)
+		clear(m.ts.branches)
+		clear(m.ts.trans)
+		clear(m.ts.noTrans)
+		transPool.Put(m.ts)
+		m.ts = nil
+		m.entries, m.branches, m.trans, m.noTrans = nil, nil, nil, nil
+	}
+	m.pred = nil
 	if m.mem == nil {
 		return
 	}
@@ -397,8 +540,13 @@ func (m *Machine) onEnter(pc uint64) {
 	if _, bad := m.noTrans[pc]; bad {
 		return
 	}
-	m.entries[pc]++
-	c := m.entries[pc]
+	cnt := m.entries[pc]
+	if cnt == nil {
+		cnt = new(uint64)
+		m.entries[pc] = cnt
+	}
+	*cnt++
+	c := *cnt
 	e := m.trans[pc]
 	switch {
 	case e == nil && c >= m.cfg.HotThreshold:
@@ -432,6 +580,10 @@ func (m *Machine) transFail(pc uint64, injected bool, cause error) {
 	}
 	if !injected {
 		m.noTrans[pc] = struct{}{}
+		// Chain links cache a "keep profiling this successor" decision
+		// that blacklisting reverses; sever them so the decision is
+		// re-made against the updated noTrans set.
+		m.chainEpoch++
 	}
 }
 
@@ -449,6 +601,14 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		m.tr.Emit(obs.Event{Kind: obs.EvTranslateStart, Cycle: m.cycles, PC: pc, Arg1: tr})
 	}
 	t0 := time.Now() // host latency; never charged to the guest clock
+	if m.tcr != nil {
+		if rg := m.tcr.Lookup(pc, asTrace, noMemSpec); rg != nil {
+			m.stats.TCacheHits++
+			m.installCached(pc, rg, tron, t0)
+			return
+		}
+		m.stats.TCacheMisses++
+	}
 	lim := translateLimits{MaxInsts: m.cfg.MaxTraceInsts, MaxUnroll: m.cfg.MaxUnroll}
 	var orc branchOracle
 	if asTrace {
@@ -484,8 +644,13 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		}
 		blk = decoded // execute the decoded form: the encoding is live
 	}
-	m.trans[pc] = &transEntry{
+	// The guest extent is computed from the pre-encoding block: the
+	// binary encoding drops guest PCs, and SMC invalidation needs them.
+	lo, hi := blockExtent(res.Block)
+	blk.Prepare() // build the threaded-dispatch table off the hot path
+	m.install(pc, &transEntry{
 		blk: blk, isTrace: asTrace, noMemSpec: noMemSpec,
+		lo: lo, hi: hi,
 		staticSpecLoads: res.Report.SpeculativeLoads,
 		riskyLoads:      len(res.Report.RiskyLoads),
 		guardEdges:      res.Report.GuardEdges,
@@ -493,6 +658,21 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 		transNS:         time.Since(t0).Nanoseconds(),
 		audit:           res.Audit,
 		auditIR:         res.AuditIR,
+	})
+	m.stats.Translations++
+	if m.tcr != nil {
+		// Record the installed block for publication. With the cache
+		// active VerifyEncoding is off, so blk is the pre-encoding block
+		// and its guest PCs are intact (SMC invalidation needs them).
+		m.tcr.Record(&tcache.Region{
+			PC: pc, Trace: asTrace, NoMemSpec: noMemSpec,
+			Lo: lo, Hi: hi,
+			SpecLoads:  res.Report.SpeculativeLoads,
+			RiskyLoads: len(res.Report.RiskyLoads),
+			GuardEdges: res.Report.GuardEdges,
+			Pattern:    res.Report.PatternFound(),
+			Block:      blk,
+		})
 	}
 	if asTrace {
 		m.stats.Traces++
@@ -523,6 +703,53 @@ func (m *Machine) translateWith(pc uint64, asTrace, noMemSpec bool) {
 			// Counter track: cumulative Spectre-pattern loads found so
 			// far (pinned in every mitigating mode), sampled whenever a
 			// translation lands.
+			m.tr.Emit(obs.Event{Kind: obs.EvCounter, Cycle: m.cycles,
+				Arg1: uint64(m.stats.RiskyLoads), Str: obs.CtrPinnedLoads})
+		}
+	}
+}
+
+// installCached installs a region served by the persistent translation
+// cache, mirroring the fresh-compilation path exactly: same statistics,
+// same guest cycle charge, same trace events — only Translations stays
+// untouched, which is how a warm run reports 0 compilations.
+func (m *Machine) installCached(pc uint64, rg *tcache.Region, tron bool, t0 time.Time) {
+	blk := rg.Block
+	blk.Prepare()
+	m.install(pc, &transEntry{
+		blk: blk, isTrace: rg.Trace, noMemSpec: rg.NoMemSpec,
+		lo: rg.Lo, hi: rg.Hi,
+		staticSpecLoads: rg.SpecLoads,
+		riskyLoads:      rg.RiskyLoads,
+		guardEdges:      rg.GuardEdges,
+		pattern:         rg.Pattern,
+		transNS:         time.Since(t0).Nanoseconds(),
+	})
+	if rg.Trace {
+		m.stats.Traces++
+	} else {
+		m.stats.Blocks++
+	}
+	m.stats.StaticSpecLoads += rg.SpecLoads
+	if rg.Pattern {
+		m.stats.PatternsFound++
+	}
+	m.stats.RiskyLoads += rg.RiskyLoads
+	m.stats.GuardEdges += rg.GuardEdges
+	m.cycles += m.cfg.TranslateCost * uint64(blk.GuestInsts)
+	if tron {
+		kind := "block"
+		if rg.Trace {
+			kind = "trace"
+		}
+		m.tr.Emit(obs.Event{Kind: obs.EvMitigation, Cycle: m.cycles, PC: pc,
+			Arg1: uint64(rg.SpecLoads),
+			Arg2: uint64(rg.RiskyLoads),
+			Arg3: uint64(rg.GuardEdges)})
+		m.tr.Emit(obs.Event{Kind: obs.EvTranslateDone, Cycle: m.cycles, PC: pc,
+			Arg1: uint64(blk.GuestInsts), Arg2: uint64(len(blk.Bundles)),
+			Arg3: uint64(m.trans[pc].transNS), Str: kind})
+		if m.tr.SpecOn() {
 			m.tr.Emit(obs.Event{Kind: obs.EvCounter, Cycle: m.cycles,
 				Arg1: uint64(m.stats.RiskyLoads), Str: obs.CtrPinnedLoads})
 		}
@@ -566,6 +793,14 @@ func (m *Machine) raise(f *trap.Fault, pc uint64) *trap.Fault {
 func (m *Machine) Run() (*Result, error) {
 	m.onEnter(m.state.PC)
 	poll := 0
+	// Chaining keeps per-dispatch observation out of the loop, so it
+	// stands down whenever a tracer or fault injector needs to see (or
+	// perturb) every dispatch.
+	chainOK := !m.cfg.DisableChaining && m.inj == nil && !m.tr.BlockOn()
+	budget := m.cfg.ChainBudget
+	if budget <= 0 {
+		budget = defaultChainBudget
+	}
 	for {
 		if m.cfg.MaxCycles != 0 && m.cycles > m.cfg.MaxCycles {
 			f := trap.Newf(trap.CycleBudgetExceeded, "cycle budget exceeded (max %d)", m.cfg.MaxCycles)
@@ -590,6 +825,16 @@ func (m *Machine) Run() (*Result, error) {
 		}
 		pc := m.state.PC
 		if e := m.trans[pc]; e != nil {
+			if chainOK {
+				f, fpc, err := m.runChain(pc, e, &poll, budget)
+				if err != nil {
+					return nil, err
+				}
+				if f != nil {
+					return nil, m.raise(f, fpc)
+				}
+				continue
+			}
 			tron := m.tr.BlockOn()
 			if tron {
 				kind := "block"
@@ -698,6 +943,14 @@ func (m *Machine) Run() (*Result, error) {
 }
 
 func (m *Machine) result(ev riscv.Event) *Result {
+	// A clean guest exit publishes this run's fresh translations to the
+	// shared cache (and, when configured, to disk). Faulted or
+	// interrupted runs never publish: their recording stopped at an
+	// arbitrary instant a complete run would overshoot.
+	if m.tcr != nil {
+		m.tcr.Publish()
+		m.tcr = nil
+	}
 	s := m.stats
 	cs := m.core.Stats
 	s.Bundles = cs.Bundles
@@ -799,9 +1052,13 @@ type HotRegion struct {
 func (m *Machine) ProfileReport() []HotRegion {
 	out := make([]HotRegion, 0, len(m.trans))
 	for pc, e := range m.trans {
+		var entered uint64
+		if cnt := m.entries[pc]; cnt != nil {
+			entered = *cnt
+		}
 		out = append(out, HotRegion{
 			PC:              pc,
-			Entries:         m.entries[pc],
+			Entries:         entered,
 			Dispatches:      e.execs,
 			GuestInsts:      e.blk.GuestInsts,
 			Bundles:         len(e.blk.Bundles),

@@ -18,11 +18,16 @@ func (s Stats) Snapshot(cycles uint64) obs.Snapshot {
 
 		"interp.insts": s.InterpInsts,
 
-		"dbt.blocks":         uint64(s.Blocks),
-		"dbt.traces":         uint64(s.Traces),
-		"dbt.block_execs":    s.BlockExecs,
-		"dbt.deopts":         uint64(s.Deopts),
-		"dbt.compile_errors": uint64(s.CompileErrs),
+		"dbt.blocks":            uint64(s.Blocks),
+		"dbt.traces":            uint64(s.Traces),
+		"dbt.block_execs":       s.BlockExecs,
+		"dbt.deopts":            uint64(s.Deopts),
+		"dbt.compile_errors":    uint64(s.CompileErrs),
+		"dbt.translations":      uint64(s.Translations),
+		"dbt.smc_invalidations": s.SMCInvalidations,
+
+		"tcache.hits":   uint64(s.TCacheHits),
+		"tcache.misses": uint64(s.TCacheMisses),
 
 		"core.bundles":       s.Bundles,
 		"core.side_exits":    s.SideExits,

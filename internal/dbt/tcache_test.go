@@ -1,0 +1,238 @@
+package dbt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/tcache"
+)
+
+// hotLoopSrc is a guest that crosses both translation thresholds: the
+// loop block is translated, upgraded to a trace and chained, so a warm
+// run exercises every cached-install shape.
+const hotLoopSrc = `
+main:
+	li a0, 0
+	li s1, 0
+	li t0, 200
+loop:
+	addi a0, a0, 1
+	addi s1, s1, 1
+	blt s1, t0, loop
+	andi a0, a0, 127
+	ecall
+`
+
+// zeroTCacheStats strips the counters that legitimately differ between
+// cold, warm and uncached runs of the same guest: everything else is
+// guest-visible and must be bit-identical.
+func zeroTCacheStats(s Stats) Stats {
+	s.Translations = 0
+	s.TCacheHits = 0
+	s.TCacheMisses = 0
+	return s
+}
+
+// A second machine on the same in-memory cache must skip every
+// compilation and still be bit-identical to both the cold run and an
+// uncached run.
+func TestTransCacheWarmRun(t *testing.T) {
+	cfg := DefaultConfig()
+	base, _ := runSrc(t, hotLoopSrc, cfg)
+
+	tc := tcache.New("")
+	cfg.TransCache = tc
+	cold, _ := runSrc(t, hotLoopSrc, cfg)
+	if cold.Stats.Translations == 0 {
+		t.Fatal("cold run translated nothing — the guest is not hot enough to test anything")
+	}
+	if cold.Stats.TCacheHits != 0 || cold.Stats.TCacheMisses != cold.Stats.Translations {
+		t.Errorf("cold run probe counters off: %d hits, %d misses, %d translations",
+			cold.Stats.TCacheHits, cold.Stats.TCacheMisses, cold.Stats.Translations)
+	}
+
+	warm, _ := runSrc(t, hotLoopSrc, cfg)
+	if warm.Stats.Translations != 0 {
+		t.Errorf("warm run still compiled %d regions", warm.Stats.Translations)
+	}
+	if warm.Stats.TCacheHits != cold.Stats.Translations {
+		t.Errorf("warm run hit %d cached regions, cold run compiled %d",
+			warm.Stats.TCacheHits, cold.Stats.Translations)
+	}
+
+	for name, res := range map[string]*Result{"cold": cold, "warm": warm} {
+		if res.Exit.Code != base.Exit.Code {
+			t.Errorf("%s exit %d, uncached %d", name, res.Exit.Code, base.Exit.Code)
+		}
+		if res.Cycles != base.Cycles {
+			t.Errorf("%s run took %d cycles, uncached %d", name, res.Cycles, base.Cycles)
+		}
+		if got, want := zeroTCacheStats(res.Stats), zeroTCacheStats(base.Stats); got != want {
+			t.Errorf("%s stats diverge from uncached:\n%+v\n%+v", name, got, want)
+		}
+	}
+}
+
+// The on-disk path: a fresh Cache instance (a new process, in effect)
+// on the same directory warm-starts; a corrupted document degrades to a
+// cold run instead of failing.
+func TestTransCacheDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	cfg := DefaultConfig()
+	cfg.TransCache = tcache.New(dir)
+	cold, _ := runSrc(t, hotLoopSrc, cfg)
+	if err := cfg.TransCache.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, persisted := cfg.TransCache.Stats(); persisted == 0 {
+		t.Fatal("clean run published no document")
+	}
+
+	warmCfg := DefaultConfig()
+	warmCfg.TransCache = tcache.New(dir)
+	warm, _ := runSrc(t, hotLoopSrc, warmCfg)
+	if warm.Stats.Translations != 0 {
+		t.Errorf("cross-instance warm run still compiled %d regions", warm.Stats.Translations)
+	}
+	if warm.Cycles != cold.Cycles || warm.Exit.Code != cold.Exit.Code {
+		t.Errorf("warm run diverged: %d cycles exit %d, cold %d cycles exit %d",
+			warm.Cycles, warm.Exit.Code, cold.Cycles, cold.Exit.Code)
+	}
+
+	// Corrupt every document: the next run must quietly recompile.
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("not json"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recCfg := DefaultConfig()
+	recCfg.TransCache = tcache.New(dir)
+	rec, _ := runSrc(t, hotLoopSrc, recCfg)
+	if rec.Stats.Translations == 0 {
+		t.Error("corrupted cache still served regions")
+	}
+	if rec.Cycles != cold.Cycles || rec.Exit.Code != cold.Exit.Code {
+		t.Errorf("recovery run diverged: %d cycles exit %d, cold %d cycles exit %d",
+			rec.Cycles, rec.Exit.Code, cold.Cycles, cold.Exit.Code)
+	}
+}
+
+// Different modes and different configurations must never share cached
+// code: the mitigation pass output depends on both.
+func TestTransCacheKeySeparation(t *testing.T) {
+	tc := tcache.New("")
+
+	cfg := DefaultConfig()
+	cfg.TransCache = tc
+	runSrc(t, hotLoopSrc, cfg)
+
+	other := DefaultConfig()
+	other.TransCache = tc
+	other.Mitigation = core.ModeGhostBusters
+	res, _ := runSrc(t, hotLoopSrc, other)
+	if res.Stats.TCacheHits != 0 {
+		t.Errorf("ghostbusters run hit %d regions cached by the unsafe run", res.Stats.TCacheHits)
+	}
+	if res.Stats.Translations == 0 {
+		t.Error("ghostbusters run compiled nothing")
+	}
+
+	tweaked := DefaultConfig()
+	tweaked.TransCache = tc
+	tweaked.MaxUnroll = 2
+	res, _ = runSrc(t, hotLoopSrc, tweaked)
+	if res.Stats.TCacheHits != 0 {
+		t.Errorf("run with a different unroll limit hit %d foreign regions", res.Stats.TCacheHits)
+	}
+}
+
+// Self-modifying code abandons the cache mid-run: nothing is served
+// after the store and nothing is ever published, so a later run of the
+// same image cannot pick up translations describing overwritten text.
+func TestTransCacheSMC(t *testing.T) {
+	newWord, err := riscv.Encode(riscv.Inst{Op: riscv.ADDI, Rd: 10, Rs1: 10, Imm: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(`
+main:
+	li a0, 0
+	li s1, 0
+	la s2, patch
+	li s3, %d
+	li s4, 40
+	li t0, 80
+loop:
+patch:
+	addi a0, a0, 1
+	bne s1, s4, skip
+	sw s3, 0(s2)
+skip:
+	addi s1, s1, 1
+	blt s1, t0, loop
+	ecall
+`, newWord)
+	const wantExit = 41*1 + 39*2
+
+	tc := tcache.New("")
+	cfg := DefaultConfig()
+	cfg.TransCache = tc
+
+	first, _ := runSrc(t, src, cfg)
+	if first.Exit.Code != wantExit {
+		t.Fatalf("first run exit %d, want %d", first.Exit.Code, wantExit)
+	}
+	if first.Stats.TCacheMisses == 0 {
+		t.Error("cache never consulted before the store")
+	}
+
+	second, _ := runSrc(t, src, cfg)
+	if second.Exit.Code != wantExit {
+		t.Fatalf("second run exit %d, want %d", second.Exit.Code, wantExit)
+	}
+	if second.Stats.TCacheHits != 0 {
+		t.Errorf("self-modifying run published %d regions that a later run consumed",
+			second.Stats.TCacheHits)
+	}
+	if second.Cycles != first.Cycles {
+		t.Errorf("runs diverged: %d vs %d cycles", second.Cycles, first.Cycles)
+	}
+}
+
+// Runs whose translation schedule is not a pure function of the cache
+// key — fault injection, auditing, encoding verification, interpreter
+// mode — must bypass the cache entirely.
+func TestTransCacheEligibility(t *testing.T) {
+	cases := map[string]func(*Config){
+		"audit":  func(c *Config) { c.Audit = true },
+		"verify": func(c *Config) { c.VerifyEncoding = true },
+		"interp": func(c *Config) { c.DisableTranslation = true },
+		// An active injector perturbs the translation schedule; note an
+		// all-zero-rate injector is inert and deliberately stays eligible.
+		"fault-injector": func(c *Config) { c.FaultInject = &FaultInject{Seed: 1, CacheFaultRate: 1e-9} },
+	}
+	for name, mutate := range cases {
+		tc := tcache.New("")
+		cfg := DefaultConfig()
+		cfg.TransCache = tc
+		mutate(&cfg)
+		res, _ := runSrc(t, hotLoopSrc, cfg)
+		if res.Stats.TCacheHits != 0 || res.Stats.TCacheMisses != 0 {
+			t.Errorf("%s: ineligible run touched the cache (%d hits, %d misses)",
+				name, res.Stats.TCacheHits, res.Stats.TCacheMisses)
+		}
+		warm, _ := runSrc(t, hotLoopSrc, cfg)
+		if warm.Stats.TCacheHits != 0 {
+			t.Errorf("%s: ineligible run published regions", name)
+		}
+	}
+}

@@ -342,3 +342,81 @@ func TestTortureGeneratorCoverage(t *testing.T) {
 	}
 	_ = fmt.Sprint()
 }
+
+// Self-modifying code under the fast backend: here the patched loop is
+// hot — translated, upgraded to a trace and chained to itself — when
+// the store lands. The store hook must drop the overlapping regions AND
+// sever the cached chain links, or the stale chained successor keeps
+// executing the old instruction. The loop adds 1 per iteration until
+// iteration 40 patches the site to add 2; a wrong exit code means stale
+// code ran after the store.
+func TestSelfModifyingCodeChained(t *testing.T) {
+	newWord, err := riscv.Encode(riscv.Inst{Op: riscv.ADDI, Rd: 10, Rs1: 10, Imm: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(`
+main:
+	li a0, 0
+	li s1, 0
+	la s2, patch
+	li s3, %d
+	li s4, 40
+	li t0, 80
+loop:
+patch:
+	addi a0, a0, 1
+	bne s1, s4, skip
+	sw s3, 0(s2)
+skip:
+	addi s1, s1, 1
+	blt s1, t0, loop
+	ecall
+`, newWord)
+	// Iterations 0..40 run the original +1 (the store fires at the end
+	// of iteration 40, after the patch site executed), 41..79 run the
+	// patched +2.
+	const wantExit = 41*1 + 39*2
+
+	cfgs := map[string]Config{}
+	cfgs["chained"] = DefaultConfig()
+	unchained := DefaultConfig()
+	unchained.DisableChaining = true
+	cfgs["unchained"] = unchained
+	blocks := DefaultConfig()
+	blocks.DisableTraces = true
+	cfgs["blocks"] = blocks
+	interp := DefaultConfig()
+	interp.DisableTranslation = true
+	cfgs["interp"] = interp
+
+	cycles := map[string]uint64{}
+	for name, cfg := range cfgs {
+		res, _ := runSrc(t, src, cfg)
+		if res.Exit.Code != wantExit {
+			t.Fatalf("%s: exit code %d, want %d (stale translated code survived the store)",
+				name, res.Exit.Code, wantExit)
+		}
+		cycles[name] = res.Cycles
+		if !cfg.DisableTranslation {
+			// The loop must actually have been translated before the
+			// store hit it, and the store must have dropped regions —
+			// otherwise this test exercises nothing.
+			if res.Stats.Translations < 2 {
+				t.Errorf("%s: only %d translations (loop never retranslated after the patch)",
+					name, res.Stats.Translations)
+			}
+			if res.Stats.SMCInvalidations == 0 {
+				t.Errorf("%s: store over hot translated text invalidated no regions: %+v",
+					name, res.Stats)
+			}
+		}
+	}
+	// Chaining is a pure host-side dispatch accelerator: cycle counts
+	// must be bit-identical with it on and off, including across the
+	// invalidation.
+	if cycles["chained"] != cycles["unchained"] {
+		t.Errorf("cycle counts diverge with chaining: %d vs %d",
+			cycles["chained"], cycles["unchained"])
+	}
+}

@@ -1,7 +1,11 @@
 package harness
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +25,13 @@ type Artifact struct {
 	Spec  *polybench.Spec
 	Prog  *riscv.Program
 	place []kbuild.Placement
+
+	// Salt identifies the run inputs that live outside the assembled
+	// image — the arrays written into guest memory after load. It feeds
+	// the persistent translation cache's key (dbt.Config.TCacheSalt):
+	// inputs steer profiling and trace formation, so runs with
+	// different inputs must never share cached translations.
+	Salt string
 }
 
 // placeFor returns the placement of the named array. validateSpec
@@ -50,7 +61,27 @@ func BuildArtifact(spec *polybench.Spec) (*Artifact, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", spec.Name, err)
 	}
-	return &Artifact{Spec: spec, Prog: prog, place: place}, nil
+	return &Artifact{Spec: spec, Prog: prog, place: place, Salt: inputSalt(spec)}, nil
+}
+
+// inputSalt hashes a spec's input arrays deterministically (sorted by
+// array name, values in declaration order).
+func inputSalt(spec *polybench.Spec) string {
+	names := make([]string, 0, len(spec.Inputs))
+	for name := range spec.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	var w [8]byte
+	for _, name := range names {
+		fmt.Fprintf(h, "%s:%d;", name, len(spec.Inputs[name]))
+		for _, v := range spec.Inputs[name] {
+			binary.LittleEndian.PutUint64(w[:], uint64(v))
+			h.Write(w[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:24]
 }
 
 // ConfigFingerprint summarises the configuration fields that influence

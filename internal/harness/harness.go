@@ -53,6 +53,12 @@ func RunSpec(spec *polybench.Spec, cfg dbt.Config) (*KernelRun, error) {
 // concurrently.
 func runArtifact(art *Artifact, cfg dbt.Config) (*KernelRun, error) {
 	spec := art.Spec
+	if cfg.TransCache != nil {
+		// Key the translation cache by this artifact's inputs as well as
+		// its image (the inputs are written into guest memory below,
+		// after Load, so the image hash alone cannot see them).
+		cfg.TCacheSalt = art.Salt
+	}
 	m, err := dbt.New(cfg)
 	if err != nil {
 		return nil, err

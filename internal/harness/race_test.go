@@ -9,6 +9,7 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/tcache"
 )
 
 // tracedBench wraps a kernel so every matrix cell builds and owns a
@@ -84,6 +85,66 @@ func TestPerCellTracersParallel(t *testing.T) {
 			if rows[i].Cycles[mode] != want[i].Cycles[mode] {
 				t.Errorf("%s/%s: traced parallel %d cycles, plain sequential %d",
 					rows[i].Name, mode, rows[i].Cycles[mode], want[i].Cycles[mode])
+			}
+		}
+	}
+}
+
+// The translation cache's sharing contract under the race detector: a
+// parallel matrix where every cell probes, records and publishes into
+// ONE cache — with the bench list duplicated so identical cells race on
+// the very same cache key, concurrently executing shared *vliw.Block
+// pointers — must be race-free and bit-identical to a sequential
+// uncached run. A second (fully warm) pass re-executes the cached
+// blocks across 8 goroutines at once.
+func TestSharedTransCacheParallel(t *testing.T) {
+	n := 6
+	kernels := polybench.All()[:3]
+	var benches []Bench
+	for _, k := range kernels {
+		benches = append(benches, KernelBench(k, n))
+	}
+	for _, k := range kernels {
+		benches = append(benches, KernelBench(k, n))
+	}
+
+	tc := tcache.New("")
+	r := &Runner{Workers: 8, Artifacts: NewArtifacts(), TransCache: tc}
+	cold, err := r.RunMatrix(context.Background(), dbt.DefaultConfig(), benches, Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := r.RunMatrix(context.Background(), dbt.DefaultConfig(), benches, Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := tc.Stats(); hits == 0 || misses == 0 {
+		t.Fatalf("shared cache unused: hits=%d misses=%d", hits, misses)
+	}
+	for i := range warm {
+		for _, mode := range Fig4Modes {
+			if tr := warm[i].Stats[mode].Translations; tr != 0 {
+				t.Errorf("%s/%s: warm parallel pass still compiled %d regions",
+					warm[i].Name, mode, tr)
+			}
+		}
+	}
+
+	seq := &Runner{Workers: 1, Artifacts: NewArtifacts()}
+	want, err := seq.RunMatrix(context.Background(), dbt.DefaultConfig(), benches[:len(kernels)], Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range benches {
+		ref := want[i%len(kernels)]
+		for _, mode := range Fig4Modes {
+			if cold[i].Cycles[mode] != ref.Cycles[mode] {
+				t.Errorf("%s/%s: cold shared-cache parallel %d cycles, sequential uncached %d",
+					cold[i].Name, mode, cold[i].Cycles[mode], ref.Cycles[mode])
+			}
+			if warm[i].Cycles[mode] != ref.Cycles[mode] {
+				t.Errorf("%s/%s: warm shared-cache parallel %d cycles, sequential uncached %d",
+					warm[i].Name, mode, warm[i].Cycles[mode], ref.Cycles[mode])
 			}
 		}
 	}

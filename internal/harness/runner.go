@@ -13,6 +13,7 @@ import (
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/trap"
 )
 
@@ -59,6 +60,13 @@ type Runner struct {
 	// cell is recorded in Row.Faults and rendered as "n/a". Host-side
 	// errors (assembly, validation, timeouts) still fail the matrix.
 	TolerateFaults bool
+
+	// TransCache, when non-nil, is the persistent translation cache
+	// every job's machine shares (dbt.Config.TransCache); the per-job
+	// key separates images, inputs, modes and configurations, so the
+	// fan-out stays bit-identical to uncached runs. A cache already set
+	// on the base config is left alone.
+	TransCache *tcache.Cache
 }
 
 // Bench is one benchmark of the experiment matrix: a named job factory
@@ -279,6 +287,9 @@ func (r *Runner) attemptOne(ctx context.Context, base dbt.Config, b Bench, mode 
 	cfg := base
 	cfg.Mitigation = mode
 	cfg.Interrupt = runCtx.Done()
+	if cfg.TransCache == nil {
+		cfg.TransCache = r.TransCache
+	}
 	if cfg.FaultInject != nil && attempt > 0 {
 		fi := *cfg.FaultInject
 		fi.Seed += uint64(attempt)

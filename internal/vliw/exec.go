@@ -55,6 +55,10 @@ type Core struct {
 	// and recovery lists grow to the widest bundle once and are then
 	// reused for every bundle of every block.
 	scr execScratch
+
+	// fr is the per-Exec frame the threaded-dispatch handlers operate
+	// on (see threaded.go), kept on the core for the same reason.
+	fr execFrame
 }
 
 // execScratch is reusable per-bundle working state. The written flags are
@@ -122,269 +126,44 @@ func errInternal(pc uint64, format string, args ...any) *trap.Fault {
 // register file (0..31 architectural, 32..63 hidden); b is the shared
 // memory system; cycles is the machine cycle counter, advanced in place
 // so rdcycle inside the block observes real time.
+//
+// Dispatch is threaded-code style: the block's predecoded dop table
+// (built once, see threaded.go) is walked with one indirect call per
+// live operation; bundle boundaries are pseudo-ops carrying the write
+// phase, MCB recoveries and the exit decision. Semantics and cycle
+// accounting are identical to the original per-bundle interpreter.
 func (c *Core) Exec(blk *Block, regs *[NumRegs]uint64, b *bus.Bus, cycles *uint64) ExitInfo {
-	hitLat := b.DC.Config().HitLatency
-	var poisoned [NumRegs]bool
-	scr := &c.scr
-
-	fault := func(err error, pc uint64) ExitInfo {
-		c.MCB.Reset()
-		f := trap.From(err)
-		if f.PC == 0 {
-			f.PC = pc // lower layers know only the kind and address
-		}
-		return ExitInfo{Fault: f, FaultPC: pc}
-	}
-
-	read := func(r uint8) uint64 {
-		if r == 0 {
-			return 0
-		}
-		return regs[r]
-	}
-	poisonIn := func(r uint8) bool { return r != 0 && poisoned[r] }
-	write := func(sy *Syllable, v uint64, p bool) *ExitInfo {
-		if sy.Dst == 0 {
-			return nil
-		}
-		if scr.written[sy.Dst] {
-			ei := fault(errInternal(sy.GuestPC, "vliw: double write of r%d in one bundle", sy.Dst), sy.GuestPC)
-			return &ei
-		}
-		scr.written[sy.Dst] = true
-		scr.writes = append(scr.writes, pendingWrite{sy.Dst, v, p})
-		return nil
-	}
+	fr := &c.fr
+	fr.regs, fr.b, fr.cycles, fr.blk = regs, b, cycles, blk
+	fr.hitLat = b.DC.Config().HitLatency
+	fr.poisoned = [NumRegs]bool{}
+	fr.exitTaken, fr.haveNext = false, false
+	c.scr.reset()
 
 	// Dispatching any block costs at least one cycle (the chain jump),
 	// so zero-bundle blocks (pure jumps) cannot loop for free.
 	if len(blk.Bundles) == 0 {
 		*cycles++
+		if n := c.MCB.Outstanding(); n != 0 {
+			c.fail(errInternal(0, "vliw: %d MCB entries outstanding at block fallthrough", n), 0)
+			return fr.exit
+		}
+		c.Instret += uint64(blk.GuestInsts)
+		return ExitInfo{NextPC: blk.FallPC}
 	}
 
-	for _, bundle := range blk.Bundles {
-		*cycles++
-		c.Stats.Bundles++
-		scr.reset()
-
-		exitTaken := false
-		var exitTo, exitPC uint64
-		var nextPC uint64
-		haveNext := false
-
-		for i := range bundle {
-			sy := &bundle[i]
-			switch sy.Kind {
-			case KNop:
-
-			case KAluRR:
-				p := poisonIn(sy.Ra) || poisonIn(sy.Rb)
-				if ei := write(sy, riscv.EvalALU(sy.Op, read(sy.Ra), read(sy.Rb)), p); ei != nil {
-					return *ei
-				}
-			case KAluRI:
-				if ei := write(sy, riscv.EvalALUImm(sy.Op, read(sy.Ra), sy.Imm), poisonIn(sy.Ra)); ei != nil {
-					return *ei
-				}
-			case KMovI:
-				if ei := write(sy, uint64(sy.Imm), false); ei != nil {
-					return *ei
-				}
-
-			case KLoad:
-				if poisonIn(sy.Ra) {
-					return fault(errPoisonUse(sy), sy.GuestPC)
-				}
-				addr := read(sy.Ra) + uint64(sy.Imm)
-				v, lat, err := b.Load(addr, sy.Op.MemSize())
-				if err != nil {
-					return fault(err, sy.GuestPC)
-				}
-				if lat > hitLat {
-					*cycles += lat - hitLat // stall-on-miss
-				}
-				if ei := write(sy, riscv.ExtendLoad(sy.Op, v), false); ei != nil {
-					return *ei
-				}
-
-			case KLoadD, KLoadS:
-				c.Stats.SpecLoads++
-				squashed := poisonIn(sy.Ra)
-				var val uint64
-				var addr uint64
-				if !squashed {
-					addr = read(sy.Ra) + uint64(sy.Imm)
-					v, lat, ok := b.LoadSpeculative(addr, sy.Op.MemSize())
-					if ok {
-						if lat > hitLat {
-							*cycles += lat - hitLat
-						}
-						val = riscv.ExtendLoad(sy.Op, v)
-						if b.OnSpecLoad != nil {
-							// The ground-truth observer: this cache fill
-							// happened under speculation (see bus.OnSpecLoad).
-							b.OnSpecLoad(sy.GuestPC, addr, *cycles)
-						}
-					} else {
-						squashed = true
-					}
-				}
-				if squashed {
-					c.Stats.SpecSquash++
-				}
-				if c.Tracer.SpecOn() {
-					c.Tracer.Emit(obs.Event{Kind: obs.EvSpecLoad, Cycle: *cycles, PC: sy.GuestPC, Arg1: addr})
-					if squashed {
-						c.Tracer.Emit(obs.Event{Kind: obs.EvSpecSquash, Cycle: *cycles, PC: sy.GuestPC, Arg1: addr})
-					}
-				}
-				if sy.Kind == KLoadS {
-					if err := c.MCB.Insert(sy.Tag, addr, sy.Op.MemSize(), squashed); err != nil {
-						return fault(err, sy.GuestPC)
-					}
-					if c.Tracer.SpecOn() {
-						c.Tracer.Emit(obs.Event{Kind: obs.EvCounter, Cycle: *cycles,
-							Arg1: uint64(c.MCB.Outstanding()), Str: obs.CtrMCBOccupancy})
-					}
-				}
-				if ei := write(sy, val, squashed); ei != nil {
-					return *ei
-				}
-
-			case KStore:
-				if poisonIn(sy.Ra) || poisonIn(sy.Rb) {
-					return fault(errPoisonUse(sy), sy.GuestPC)
-				}
-				addr := read(sy.Ra) + uint64(sy.Imm)
-				lat, err := b.Store(addr, sy.Op.MemSize(), read(sy.Rb))
-				if err != nil {
-					return fault(err, sy.GuestPC)
-				}
-				if lat > hitLat {
-					*cycles += lat - hitLat
-				}
-				c.MCB.StoreCheck(addr, sy.Op.MemSize())
-
-			case KChk:
-				conflict, faulted, err := c.MCB.Consume(sy.Tag)
-				if err != nil {
-					return fault(err, sy.GuestPC)
-				}
-				if c.Tracer.SpecOn() {
-					c.Tracer.Emit(obs.Event{Kind: obs.EvCounter, Cycle: *cycles,
-						Arg1: uint64(c.MCB.Outstanding()), Str: obs.CtrMCBOccupancy})
-				}
-				if faulted {
-					// The speculative load faults at its original
-					// program position (exception no longer deferred).
-					return fault(trap.Newf(trap.DeferredFault, "speculative load fault delivered at chk"), sy.GuestPC)
-				}
-				if conflict {
-					scr.recov = append(scr.recov, sy.Rec)
-				}
-
-			case KBrExit:
-				if poisonIn(sy.Ra) || poisonIn(sy.Rb) {
-					return fault(errPoisonUse(sy), sy.GuestPC)
-				}
-				if riscv.EvalBranch(sy.Op, read(sy.Ra), read(sy.Rb)) {
-					exitTaken = true
-					exitTo = uint64(sy.Imm)
-					exitPC = sy.GuestPC
-				}
-
-			case KJump:
-				nextPC, haveNext = uint64(sy.Imm), true
-			case KJumpR:
-				if poisonIn(sy.Ra) {
-					return fault(errPoisonUse(sy), sy.GuestPC)
-				}
-				nextPC, haveNext = read(sy.Ra)+uint64(sy.Imm), true
-
-			case KCsr:
-				var v uint64
-				switch sy.Imm {
-				case riscv.CSRCycle, riscv.CSRTime:
-					v = *cycles
-				case riscv.CSRInstret:
-					v = c.Instret
-				}
-				if ei := write(sy, v, false); ei != nil {
-					return *ei
-				}
-
-			case KFlush:
-				if sy.Op == riscv.CFLUSHALL {
-					b.FlushAll()
-				} else {
-					if poisonIn(sy.Ra) {
-						return fault(errPoisonUse(sy), sy.GuestPC)
-					}
-					b.FlushLine(read(sy.Ra))
-				}
-
-			case KCommit:
-				if poisonIn(sy.Ra) {
-					return fault(errPoisonUse(sy), sy.GuestPC)
-				}
-				if ei := write(sy, read(sy.Ra), false); ei != nil {
-					return *ei
-				}
-
-			default:
-				return fault(errInternal(sy.GuestPC, "vliw: unknown syllable kind %d", sy.Kind), sy.GuestPC)
-			}
-		}
-
-		// Write phase: all bundle results commit together.
-		for _, w := range scr.writes {
-			regs[w.reg] = w.val
-			poisoned[w.reg] = w.poison
-		}
-
-		// MCB recoveries detected in this bundle, in check order.
-		for _, rec := range scr.recov {
-			if int(rec) < 0 || int(rec) >= len(blk.Recoveries) {
-				return fault(errInternal(0, "vliw: recovery %d out of range", rec), 0)
-			}
-			c.Stats.Recoveries++
-			*cycles += c.Cfg.RecoveryPenalty
-			if c.Tracer.SpecOn() {
-				var rpc uint64
-				if seq := blk.Recoveries[rec]; len(seq) > 0 {
-					rpc = seq[0].GuestPC
-				}
-				c.Tracer.Emit(obs.Event{Kind: obs.EvRecovery, Cycle: *cycles, PC: rpc, Arg1: uint64(rec)})
-			}
-			if ei := c.execRecovery(blk.Recoveries[rec], regs, &poisoned, b, cycles); ei != nil {
-				return *ei
-			}
-		}
-
-		if exitTaken {
-			*cycles += c.Cfg.ExitPenalty
-			c.Stats.SideExits++
-			if c.Tracer.BlockOn() {
-				c.Tracer.Emit(obs.Event{Kind: obs.EvSideExit, Cycle: *cycles, PC: exitPC, Arg1: exitTo})
-			}
-			c.MCB.Reset()
-			c.Instret += uint64(blk.GuestInsts) // approximate retirement
-			return ExitInfo{NextPC: exitTo, SideExit: true}
-		}
-		if haveNext {
-			if n := c.MCB.Outstanding(); n != 0 {
-				return fault(errInternal(0, "vliw: %d MCB entries outstanding at block exit", n), 0)
-			}
-			c.Instret += uint64(blk.GuestInsts)
-			return ExitInfo{NextPC: nextPC}
+	dec := blk.decoded()
+	*cycles++
+	c.Stats.Bundles++
+	ops := dec.ops
+	for i := 0; i < len(ops); i++ {
+		d := &ops[i]
+		if d.fn(c, d) != ctlNext {
+			return fr.exit
 		}
 	}
-
-	if n := c.MCB.Outstanding(); n != 0 {
-		return fault(errInternal(0, "vliw: %d MCB entries outstanding at block fallthrough", n), 0)
-	}
-	c.Instret += uint64(blk.GuestInsts)
-	return ExitInfo{NextPC: blk.FallPC}
+	// Unreachable: the final bundle's terminator always stops.
+	return fr.exit
 }
 
 // execRecovery re-executes a speculative load and its forward slice

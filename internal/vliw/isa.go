@@ -17,6 +17,7 @@ package vliw
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ghostbusters/internal/riscv"
 )
@@ -150,7 +151,31 @@ type Block struct {
 	// GuestInsts is the number of guest instructions this block covers
 	// (instret accounting).
 	GuestInsts int
+
+	// dec caches the block's threaded-dispatch table (see threaded.go).
+	// Built once — at translation time via Prepare, or lazily on first
+	// Exec — and immutable afterwards; atomic so blocks installed from
+	// a shared translation cache can be executed by concurrent
+	// machines without a lock.
+	dec atomic.Pointer[decoded]
 }
+
+// decoded returns the block's threaded-dispatch table, building it on
+// first use. Concurrent first uses may build it twice; both tables are
+// equivalent and the loser is dropped.
+func (b *Block) decoded() *decoded {
+	if d := b.dec.Load(); d != nil {
+		return d
+	}
+	d := buildDecoded(b)
+	b.dec.Store(d)
+	return d
+}
+
+// Prepare eagerly builds the threaded-dispatch table so the first
+// dispatch of a freshly translated (or cache-installed) block doesn't
+// pay the decode cost inside the measured hot loop.
+func (b *Block) Prepare() { b.decoded() }
 
 // SlotCap is a bitmask of syllable classes a slot can issue.
 type SlotCap uint8

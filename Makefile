@@ -9,11 +9,13 @@
 #   make trace   capture a Perfetto trace of the Spectre v1 PoC
 #   make trace-v4  same for Spectre v4 (MCB rollbacks on the timeline)
 #   make audit   run the v1 PoC with the leakage audit layer on
+#   make serve-smoke  end-to-end smoke of the gbserve daemon
+#   make soak    the multi-tenant chaos soak test under the race detector
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf trace trace-v4 audit
+.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf trace trace-v4 audit serve-smoke soak
 
 build:
 	$(GO) build ./...
@@ -83,3 +85,16 @@ trace-v4:
 audit:
 	$(GO) run ./cmd/gbspectre -variant v1 -mode ghostbusters -audit -audit-json audit_v1.json
 	@echo "wrote audit_v1.json"
+
+# End-to-end smoke of the simulation service: boots a real gbserve
+# process, drives the HTTP API (fig4 byte-identity, quotas, metrics)
+# and checks the SIGTERM drain. SMOKELOGS keeps the server log and
+# intermediate artifacts (default: a temp dir).
+serve-smoke:
+	./scripts/serve_smoke.sh $(SMOKELOGS)
+
+# The multi-tenant chaos soak under the race detector: hundreds of
+# concurrent jobs across quota-limited tenants with fault injection,
+# checking ledger invariants and goroutine hygiene afterwards.
+soak:
+	$(GO) test -race -run TestSoak -count=1 -v ./internal/serve

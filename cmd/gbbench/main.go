@@ -35,11 +35,16 @@
 // injects deterministic, seeded translation failures into every run;
 // the harness retries faulted cells with a reseeded injector and
 // renders cells that stay faulted as "n/a" instead of failing the
-// sweep. All injection is off by default.
+// sweep. The backoff before each retry doubles per attempt from
+// -retry-backoff, capped at -retry-backoff-max, with deterministic
+// jitter seeded by -retry-seed. All injection is off by default.
 //
 // Exit codes: 1 for host/benchmark errors, 2 for usage errors, 3 when
 // the matrix died on a guest trap (the trap kind, guest PC and cycle
-// are printed to stderr).
+// are printed to stderr), 4 when SIGINT/SIGTERM interrupted the sweep —
+// in-flight runs are cancelled through the machines' interrupt hooks
+// and the cells that did complete are still written to -perfjson, so a
+// long sweep can be stopped without losing its measurements.
 //
 // -cpuprofile and -memprofile write pprof profiles of the simulator
 // itself (go tool pprof), for hunting host-side performance problems.
@@ -47,12 +52,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"ghostbusters/internal/core"
@@ -64,9 +72,12 @@ import (
 	"ghostbusters/internal/vliw"
 )
 
-// exitGuestTrap is the exit code when an experiment fails on a guest
-// trap, distinct from host errors (1) and usage errors (2).
-const exitGuestTrap = 3
+// Exit codes for failure modes distinct from host errors (1) and usage
+// errors (2).
+const (
+	exitGuestTrap   = 3 // the matrix died on a guest trap
+	exitInterrupted = 4 // SIGINT/SIGTERM cancelled the sweep
+)
 
 func main() {
 	exp := flag.String("exp", "fig4", "experiment: fig4 | poc | ptrmm | kernel")
@@ -81,7 +92,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	retries := flag.Int("retries", 0, "retry attempts per benchmark run after a transient (injected) fault")
-	retryBackoff := flag.Duration("retry-backoff", 0, "pause before each retry, scaled linearly by attempt")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base pause before the first retry; doubles per attempt, with deterministic jitter")
+	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "cap on the per-retry pause (0 = 8x the base)")
+	retrySeed := flag.Uint64("retry-seed", 0, "seed for the deterministic backoff jitter")
 	tolerateFaults := flag.Bool("tolerate-faults", false, "render persistently faulted cells as n/a instead of failing the sweep")
 	injectSeed := flag.Uint64("inject-seed", 0, "fault-injection PRNG seed")
 	injectTrans := flag.Float64("inject-translation-rate", 0, "probability a translation attempt is forced to fail (0..1)")
@@ -172,10 +185,17 @@ func main() {
 		Artifacts:      harness.NewArtifacts(),
 		Retries:        *retries,
 		Backoff:        *retryBackoff,
+		BackoffMax:     *retryBackoffMax,
+		BackoffSeed:    *retrySeed,
 		TolerateFaults: *tolerateFaults,
 		TransCache:     transCache,
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the sweep: every in-flight machine is
+	// stopped through its interrupt hook, the harness returns the cells
+	// that completed, and checkInterrupted below persists them before
+	// exiting with the distinct code.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// perfOut records and/or checks the perf JSON for a matrix result.
 	// The current report is always written before the baseline check, so
@@ -195,10 +215,36 @@ func main() {
 		}
 	}
 
+	// checkInterrupted recognises a signal-cancelled sweep: the cells
+	// that completed are still written to -perfjson (never judged with
+	// -checkperf — a partial sweep cannot be compared to a baseline), a
+	// note goes to stderr, and the process exits with the interruption
+	// code.
+	checkInterrupted := func(rows []*harness.Row, err error) {
+		if err == nil || (ctx.Err() == nil && !errors.Is(err, dbt.ErrInterrupted)) {
+			return
+		}
+		flushProfiles()
+		cells := 0
+		for _, r := range rows {
+			cells += len(r.Cycles)
+		}
+		if *perfjson != "" && len(rows) > 0 {
+			if werr := harness.PerfFromRows(rows, modes).WriteFile(*perfjson); werr != nil {
+				fmt.Fprintln(os.Stderr, "gbbench:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "gbbench: partial perf report (%d completed cells) written to %s\n", cells, *perfjson)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "gbbench: interrupted with %d completed cells: %v\n", cells, err)
+		os.Exit(exitInterrupted)
+	}
+
 	switch *exp {
 	case "fig4":
 		start := time.Now()
 		rows, err := runner.Fig4(ctx, base, modes, *n)
+		checkInterrupted(rows, err)
 		fail(err)
 		// Timing goes to stderr so stdout stays byte-identical at any -j.
 		fmt.Fprintf(os.Stderr, "gbbench: %d benchmarks x %d modes on %d workers in %v\n",
@@ -224,6 +270,7 @@ func main() {
 		k, err := polybench.ByName("matmul-ptr")
 		fail(err)
 		row, err := runner.RunKernel(ctx, k, *n, base, modes)
+		checkInterrupted(rowSlice(row), err)
 		fail(err)
 		perfOut([]*harness.Row{row})
 		if *csv {
@@ -244,6 +291,7 @@ func main() {
 		k, err := polybench.ByName(*kernel)
 		fail(err)
 		row, err := runner.RunKernel(ctx, k, *n, base, modes)
+		checkInterrupted(rowSlice(row), err)
 		fail(err)
 		perfOut([]*harness.Row{row})
 		if *csv {
@@ -255,6 +303,15 @@ func main() {
 	default:
 		usageError("gbbench: unknown experiment %q", *exp)
 	}
+}
+
+// rowSlice lifts a possibly-nil single row into the slice shape the
+// partial-result paths want.
+func rowSlice(row *harness.Row) []*harness.Row {
+	if row == nil {
+		return nil
+	}
+	return []*harness.Row{row}
 }
 
 // parseModes resolves the -modes flag: the two named sweeps, or an

@@ -15,6 +15,10 @@
 //	3  guest trap (illegal instruction, wild jump, out-of-range access,
 //	   cycle-budget exhaustion, ...) — the trap kind, guest PC, faulting
 //	   address and cycle count are printed to stderr
+//	4  interrupted by SIGINT/SIGTERM — the in-flight run is cancelled
+//	   through the machine's interrupt hook and any -traceout stream is
+//	   flushed before exiting, so a partial trace of the cancelled run
+//	   survives
 //
 // -trace logs block dispatches and taken interpreter branches to stderr
 // in the classic human-readable line format. -traceout writes the full
@@ -42,21 +46,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"ghostbusters"
 	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/vliw"
 )
 
-// exitGuestTrap is the exit code for a structured guest trap, distinct
-// from host errors (1) and usage errors (2).
-const exitGuestTrap = 3
+// Exit codes for the failure modes distinct from host errors (1) and
+// usage errors (2).
+const (
+	exitGuestTrap   = 3 // structured guest trap
+	exitInterrupted = 4 // cancelled by SIGINT/SIGTERM
+)
 
 func main() {
 	mode := flag.String("mode", "unsafe", "mitigation: unsafe | ghostbusters | fence | nospec")
@@ -104,6 +115,14 @@ func main() {
 	transCache := buildTransCache(*useTCache, *tcacheDir)
 	cfg.TransCache = transCache
 
+	// SIGINT/SIGTERM cancel the run through the machine's interrupt
+	// hook: the dispatch loop notices within one poll window, Run
+	// returns ErrInterrupted, and the trace/profile sinks are flushed
+	// before the distinct exit code.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Interrupt = ctx.Done()
+
 	prog, err := ghostbusters.Assemble(string(src))
 	fail(err)
 	machine, err := ghostbusters.NewMachine(cfg)
@@ -112,6 +131,11 @@ func main() {
 	res, err := machine.Run()
 	if err != nil {
 		shutdown()
+		if errors.Is(err, ghostbusters.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "gbrun: interrupted: %v\n", err)
+			fmt.Fprintf(os.Stderr, "gbrun: partial trace and profiles flushed\n")
+			os.Exit(exitInterrupted)
+		}
 		if f := ghostbusters.AsFault(err); f != nil {
 			fmt.Fprintf(os.Stderr, "gbrun: guest trap: %s\n", f.Kind)
 			fmt.Fprintf(os.Stderr, "gbrun:   %s\n", f.Detail)

@@ -1,0 +1,207 @@
+// Command gbserve runs the simulation service: a long-running daemon
+// that accepts guest programs and experiment specs over HTTP/JSON and
+// executes them on a bounded worker fleet with per-tenant quotas.
+//
+//	gbserve [-addr :8433] [-workers N] [-job-parallelism N] [-queue N]
+//	        [-job-timeout 60s] [-drain-timeout 10s]
+//	        [-quota-inflight N] [-quota-cycles N] [-quota-mem N]
+//	        [-tenant name=inflight:cycles:mem ...]
+//	        [-retries N] [-retry-backoff d] [-retry-backoff-max d]
+//	        [-retry-seed N] [-tcache] [-tcache-dir dir] [-width 2|4|8]
+//
+// API (see internal/serve):
+//
+//	POST   /v1/jobs             submit a job ({"tenant": ..., "kind":
+//	                            "run"|"kernel"|"fig4", ...}); ?wait=1
+//	                            blocks until the job is terminal
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/output rendered output (byte-identical to the
+//	                            gbbench/gbrun stdout for the same work)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz /readyz /metrics
+//
+// Admission rejections are structured: 429 + Retry-After when the
+// tenant's in-flight cap or the global queue is hit, 403 when a cycle
+// or memory budget is exhausted, 503 while draining.
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops (readyz goes
+// 503 for load balancers), running and queued jobs get -drain-timeout
+// to finish, stragglers are cancelled through their contexts (the
+// machine's interrupt hook, so guest memory is released), and the
+// process exits 0 once the fleet is idle. A second signal kills the
+// process immediately.
+//
+// All logging goes to stderr; stdout is never written (ops can pipe it
+// safely).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/serve"
+	"ghostbusters/internal/tcache"
+	"ghostbusters/internal/vliw"
+)
+
+func main() {
+	addr := flag.String("addr", ":8433", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "job-fleet size (concurrently executing jobs)")
+	jobPar := flag.Int("job-parallelism", 2, "harness workers inside one sweep job")
+	queue := flag.Int("queue", 64, "admission queue depth (full queue sheds 429 + Retry-After)")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "default and maximum per-job deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight jobs on SIGTERM before cancellation")
+	quotaInflight := flag.Int("quota-inflight", 8, "default per-tenant cap on queued+running jobs (-1 = unlimited)")
+	quotaCycles := flag.Uint64("quota-cycles", 0, "default per-tenant cumulative simulated-cycle budget (0 = unlimited)")
+	quotaMem := flag.Uint64("quota-mem", 0, "default per-tenant cumulative guest-memory budget in bytes (0 = unlimited)")
+	retries := flag.Int("retries", 0, "default transient-fault retries per run")
+	retryBackoff := flag.Duration("retry-backoff", 10*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "retry backoff cap (0 = 8x base)")
+	retrySeed := flag.Uint64("retry-seed", 0, "deterministic jitter seed")
+	useTCache := flag.Bool("tcache", false, "share a persistent translation cache across jobs and tenants (default cache dir)")
+	tcacheDir := flag.String("tcache-dir", "", "translation cache directory (implies -tcache)")
+	width := flag.Int("width", 4, "VLIW issue width: 2, 4 or 8")
+
+	tenants := map[string]serve.Quota{}
+	flag.Func("tenant", "per-tenant quota `name=inflight:cycles:mem` (repeatable; 0 = unlimited, inflight -1 = unlimited)", func(v string) error {
+		name, q, err := parseTenant(v)
+		if err != nil {
+			return err
+		}
+		tenants[name] = q
+		return nil
+	})
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: gbserve [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	base := dbt.DefaultConfig()
+	switch *width {
+	case 2:
+		base.Core = vliw.NarrowConfig()
+	case 4:
+		base.Core = vliw.DefaultConfig()
+	case 8:
+		base.Core = vliw.WideConfig()
+	default:
+		logger.Fatalf("gbserve: unsupported width %d", *width)
+	}
+
+	var transCache *tcache.Cache
+	if *useTCache || *tcacheDir != "" {
+		dir := *tcacheDir
+		if dir == "" {
+			var err error
+			dir, err = tcache.DefaultDir()
+			if err != nil {
+				logger.Fatalf("gbserve: %v", err)
+			}
+		}
+		transCache = tcache.New(dir)
+		logger.Printf("gbserve: translation cache at %s (shared across tenants)", dir)
+	}
+
+	s, err := serve.New(serve.Config{
+		Base:           &base,
+		Workers:        *workers,
+		JobParallelism: *jobPar,
+		QueueDepth:     *queue,
+		DefaultQuota: serve.Quota{
+			MaxInFlight: *quotaInflight,
+			CycleBudget: *quotaCycles,
+			MemBudget:   *quotaMem,
+		},
+		Tenants:      tenants,
+		JobTimeout:   *jobTimeout,
+		DrainTimeout: *drainTimeout,
+		Retries:      *retries,
+		Backoff:      *retryBackoff,
+		BackoffMax:   *retryBackoffMax,
+		BackoffSeed:  *retrySeed,
+		TransCache:   transCache,
+		Log:          logger,
+	})
+	if err != nil {
+		logger.Fatalf("gbserve: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("gbserve: %v", err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logger.Printf("gbserve: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		logger.Fatalf("gbserve: %v", err)
+	}
+	stop() // a second signal now kills the process the default way
+	logger.Printf("gbserve: signal received, draining (grace %v)", *drainTimeout)
+
+	// Drain the fleet first — the HTTP server stays up so status polls
+	// and metrics scrapes keep working while jobs finish — then close
+	// the listener.
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shCtx); err != nil {
+		logger.Printf("gbserve: drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("gbserve: http shutdown: %v", err)
+	}
+	if transCache != nil {
+		if err := transCache.Err(); err != nil {
+			logger.Printf("gbserve: warning: %v", err)
+		}
+	}
+	logger.Printf("gbserve: bye")
+}
+
+// parseTenant parses one -tenant spec: name=inflight:cycles:mem.
+func parseTenant(v string) (string, serve.Quota, error) {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return "", serve.Quota{}, fmt.Errorf("want name=inflight:cycles:mem, got %q", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return "", serve.Quota{}, fmt.Errorf("want name=inflight:cycles:mem, got %q", v)
+	}
+	inflight, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return "", serve.Quota{}, fmt.Errorf("bad inflight in %q: %v", v, err)
+	}
+	cycles, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return "", serve.Quota{}, fmt.Errorf("bad cycle budget in %q: %v", v, err)
+	}
+	mem, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return "", serve.Quota{}, fmt.Errorf("bad mem budget in %q: %v", v, err)
+	}
+	return name, serve.Quota{MaxInFlight: inflight, CycleBudget: cycles, MemBudget: mem}, nil
+}

@@ -124,6 +124,11 @@ type TrapKind = trap.Kind
 // is not a guest trap — e.g. a host-side assembly or I/O failure).
 func AsFault(err error) *Fault { return trap.As(err) }
 
+// ErrInterrupted is returned (wrapped) by Machine.Run when the run was
+// aborted through Config.Interrupt — the hook tools use for timeouts
+// and signal-driven cancellation. Match with errors.Is.
+var ErrInterrupted = dbt.ErrInterrupted
+
 // FaultInject configures the deterministic fault-injection layer; set
 // Config.FaultInject to enable it.
 type FaultInject = dbt.FaultInject

@@ -126,6 +126,96 @@ func TestTransCacheDisk(t *testing.T) {
 	}
 }
 
+// TestTransCacheTornWrite simulates the two crash shapes of the atomic
+// tmp+rename persist protocol and requires both to degrade to a cold
+// run with the error (if any) surfacing only through Cache.Err():
+//
+//   - a crash BETWEEN tmp-write and rename leaves an orphaned .tcache-*
+//     file next to the document; loads must ignore it (it is not the
+//     document) and runs proceed from the intact document unharmed;
+//   - a torn document (truncated mid-JSON, as after a crash that lost
+//     the tail of a non-atomic write) must parse-fail into a cold run,
+//     and the recompiled regions must then repair the document.
+func TestTransCacheTornWrite(t *testing.T) {
+	dir := t.TempDir()
+
+	cfg := DefaultConfig()
+	cfg.TransCache = tcache.New(dir)
+	cold, _ := runSrc(t, hotLoopSrc, cfg)
+	if err := cfg.TransCache.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	var docs []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		docs = append(docs, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("clean run persisted no document")
+	}
+
+	// Crash shape 1: orphaned tmp file beside every document. The
+	// orphan even holds valid-looking JSON — nothing may read it.
+	for _, doc := range docs {
+		orphan := filepath.Join(filepath.Dir(doc), ".tcache-orphan123")
+		if err := os.WriteFile(orphan, []byte(`{"schema":"ghostbusters/tcache/v1"}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warmCfg := DefaultConfig()
+	warmCfg.TransCache = tcache.New(dir)
+	warm, _ := runSrc(t, hotLoopSrc, warmCfg)
+	if warm.Stats.Translations != 0 {
+		t.Errorf("orphaned tmp file spoiled the warm start: %d recompilations", warm.Stats.Translations)
+	}
+	if err := warmCfg.TransCache.Err(); err != nil {
+		t.Errorf("orphaned tmp file raised an error: %v", err)
+	}
+
+	// Crash shape 2: every document torn mid-JSON. The run must come up
+	// cold, bit-identical, with the parse failure only in Err().
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(doc, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tornCfg := DefaultConfig()
+	tornCfg.TransCache = tcache.New(dir)
+	torn, _ := runSrc(t, hotLoopSrc, tornCfg)
+	if torn.Stats.Translations == 0 {
+		t.Error("torn document still served regions")
+	}
+	if torn.Cycles != cold.Cycles || torn.Exit.Code != cold.Exit.Code {
+		t.Errorf("torn-cache run diverged: %d cycles exit %d, cold %d cycles exit %d",
+			torn.Cycles, torn.Exit.Code, cold.Cycles, cold.Exit.Code)
+	}
+	if err := tornCfg.TransCache.Err(); err == nil {
+		t.Error("torn document was not reported through Err()")
+	}
+
+	// The cold run republished; the next instance warm-starts again.
+	repairedCfg := DefaultConfig()
+	repairedCfg.TransCache = tcache.New(dir)
+	repaired, _ := runSrc(t, hotLoopSrc, repairedCfg)
+	if repaired.Stats.Translations != 0 {
+		t.Errorf("repaired document did not warm-start: %d recompilations", repaired.Stats.Translations)
+	}
+	if err := repairedCfg.TransCache.Err(); err != nil {
+		t.Errorf("repaired run raised: %v", err)
+	}
+}
+
 // Different modes and different configurations must never share cached
 // code: the mitigation pass output depends on both.
 func TestTransCacheKeySeparation(t *testing.T) {

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff is the retry pacing policy: capped exponential delays with
+// deterministic jitter. Attempt k (1-based) waits
+//
+//	min(Base << (k-1), Max) * j,   j ∈ [0.5, 1.0)
+//
+// where j is drawn from a splitmix64 stream seeded by (Seed, key,
+// attempt). The jitter is deterministic — the same seed, key and
+// attempt always produce the same delay — so retry schedules are
+// reproducible run to run while distinct keys (matrix cells, tenants)
+// still decorrelate and avoid thundering-herd retries.
+type Backoff struct {
+	// Base is the uncapped delay of the first retry. Zero disables
+	// sleeping entirely (retries go back-to-back).
+	Base time.Duration
+
+	// Max caps the exponential growth. Zero or negative means the
+	// conventional cap of 8×Base (three doublings).
+	Max time.Duration
+
+	// Seed selects the deterministic jitter stream.
+	Seed uint64
+}
+
+// Delay returns the pause before retry attempt (attempt >= 1) of the
+// work identified by key. Attempt values < 1 return 0.
+func (b Backoff) Delay(attempt int, key string) time.Duration {
+	if b.Base <= 0 || attempt < 1 {
+		return 0
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 8 * b.Base
+	}
+	d := b.Base
+	for i := 1; i < attempt; i++ {
+		if d >= max/2 {
+			d = max
+			break
+		}
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter factor in [0.5, 1.0): full-jitter halves are known to
+	// synchronise badly, so keep at least half the deterministic delay.
+	x := splitmix64(b.Seed ^ hashKey(key) ^ uint64(attempt)*0x9E3779B97F4A7C15)
+	frac := float64(x>>11) / float64(1<<53) // [0, 1)
+	return time.Duration(float64(d) * (0.5 + frac/2))
+}
+
+// Sleep pauses for the attempt's delay or until ctx is cancelled,
+// whichever comes first — a cancelled context interrupts the backoff
+// sleep immediately instead of letting it run out. It returns ctx.Err()
+// when the sleep was cut short, nil when it completed.
+func (b Backoff) Sleep(ctx context.Context, attempt int, key string) error {
+	d := b.Delay(attempt, key)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// splitmix64 is the standard SplitMix64 output function — the same
+// generator the fault-injection layer uses, chosen for determinism, not
+// cryptography.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashKey folds a string into the jitter seed (FNV-1a).
+func hashKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

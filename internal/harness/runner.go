@@ -51,9 +51,21 @@ type Runner struct {
 	// they are deterministic properties of the guest, not bad luck.
 	Retries int
 
-	// Backoff is the pause before each retry, scaled linearly by the
-	// attempt number (attempt 1 waits Backoff, attempt 2 waits 2×, ...).
+	// Backoff is the base pause of the retry schedule: attempt k waits
+	// min(Backoff << (k-1), BackoffMax) scaled by deterministic jitter
+	// in [0.5, 1.0) — capped exponential, not linear, so a burst of
+	// transient faults backs off quickly without ever sleeping past the
+	// cap. The sleep is context-aware: cancelling the matrix interrupts
+	// a backoff pause immediately. Zero disables sleeping.
 	Backoff time.Duration
+
+	// BackoffMax caps the exponential schedule; 0 means 8×Backoff.
+	BackoffMax time.Duration
+
+	// BackoffSeed selects the deterministic jitter stream (see Backoff
+	// in backoff.go); each matrix cell decorrelates further by keying
+	// the stream with its benchmark name and mode.
+	BackoffSeed uint64
 
 	// TolerateFaults keeps the matrix going when a job exhausts its
 	// retries on a guest trap: instead of failing the whole matrix, the
@@ -134,16 +146,23 @@ func (r *Runner) Fig4(ctx context.Context, base dbt.Config, modes []core.Mode, s
 // modes out over the pool.
 func (r *Runner) RunKernel(ctx context.Context, k polybench.Kernel, n int, base dbt.Config, modes []core.Mode) (*Row, error) {
 	rows, err := r.RunMatrix(ctx, base, []Bench{KernelBench(k, n)}, modes)
-	if err != nil {
-		return nil, err
+	if len(rows) > 0 {
+		// Like RunMatrix, the partial row rides along with the error so
+		// an interrupted sweep can still emit what completed.
+		return rows[0], err
 	}
-	return rows[0], nil
+	return nil, err
 }
 
 // RunMatrix fans benches × modes out as independent jobs and folds the
 // completed runs into one Row per bench. Row order follows the benches
 // argument regardless of completion order, so output is deterministic at
 // any worker count.
+//
+// On failure the returned rows are non-nil and carry every cell that
+// did complete (failed cells simply have no entry), so an interrupted
+// sweep can still render or persist its partial results; the error
+// reports what went wrong as before.
 func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench, modes []core.Mode) ([]*Row, error) {
 	nb, nm := len(benches), len(modes)
 	if nb == 0 || nm == 0 {
@@ -204,7 +223,31 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 		}
 	}
 
-	// Collect failures in deterministic job order.
+	// Fold completed runs into rows even when some cells failed: a
+	// cancelled or partially failed matrix still reports what finished,
+	// so interrupted tools can emit partial results alongside the error.
+	rows := make([]*Row, nb)
+	for bi, b := range benches {
+		row := newRow(b.Name)
+		for mi, mode := range modes {
+			idx := bi*nm + mi
+			if f := faults[idx]; f != nil {
+				row.Faults[mode] = f
+				continue
+			}
+			if run := runs[idx]; run != nil {
+				row.Cycles[mode] = run.Cycles
+				row.Stats[mode] = run.Stats
+				row.HostNS[mode] = run.HostNS
+			}
+		}
+		row.normalize()
+		rows[bi] = row
+	}
+
+	// Collect failures in deterministic job order. The partial rows ride
+	// along with the error; callers that only care about complete
+	// matrices keep ignoring them.
 	var errList []error
 	for _, err := range errs {
 		if err != nil {
@@ -217,50 +260,29 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 			// cancellation ripple from the fail-fast cancel itself.
 			for _, err := range errList {
 				if !errors.Is(err, context.Canceled) {
-					return nil, err
+					return rows, err
 				}
 			}
-			return nil, errList[0]
+			return rows, errList[0]
 		}
-		return nil, errors.Join(errList...)
-	}
-
-	rows := make([]*Row, nb)
-	for bi, b := range benches {
-		row := newRow(b.Name)
-		for mi, mode := range modes {
-			idx := bi*nm + mi
-			if f := faults[idx]; f != nil {
-				row.Faults[mode] = f
-				continue
-			}
-			run := runs[idx]
-			row.Cycles[mode] = run.Cycles
-			row.Stats[mode] = run.Stats
-			row.HostNS[mode] = run.HostNS
-		}
-		row.normalize()
-		rows[bi] = row
+		return rows, errors.Join(errList...)
 	}
 	return rows, nil
 }
 
 // runOne executes a single matrix cell: its own config (mode applied),
 // its own wall-clock guard, its own machine. Transient (injected)
-// faults are retried up to r.Retries times with linear backoff and a
-// reseeded injector; any fault still standing afterwards is surfaced.
+// faults are retried up to r.Retries times with capped exponential
+// backoff and a reseeded injector; any fault still standing afterwards
+// is surfaced.
 func (r *Runner) runOne(ctx context.Context, base dbt.Config, b Bench, mode core.Mode) (*KernelRun, error) {
+	bo := Backoff{Base: r.Backoff, Max: r.BackoffMax, Seed: r.BackoffSeed}
+	key := b.Name + "|" + mode.String()
 	var lastErr error
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		if attempt > 0 {
-			if r.Backoff > 0 {
-				select {
-				case <-time.After(time.Duration(attempt) * r.Backoff):
-				case <-ctx.Done():
-				}
-			}
-			if ctx.Err() != nil {
-				break
+			if err := bo.Sleep(ctx, attempt, key); err != nil {
+				break // cancellation interrupts the backoff pause itself
 			}
 		}
 		run, err := r.attemptOne(ctx, base, b, mode, attempt)

@@ -26,6 +26,17 @@ func (s Snapshot) Names() []string {
 	return names
 }
 
+// Add accumulates another snapshot into this one, summing counters
+// name by name (names only one side carries are kept/adopted). It is
+// how a long-running service folds per-run snapshots into one
+// fleet-wide metrics view: every counter in the contract is a
+// monotonically increasing total, so addition is the right merge.
+func (s Snapshot) Add(o Snapshot) {
+	for k, v := range o {
+		s[k] += v
+	}
+}
+
 // Equal reports whether two snapshots carry identical metrics.
 func (s Snapshot) Equal(o Snapshot) bool {
 	if len(s) != len(o) {

@@ -1,0 +1,17 @@
+package obs
+
+import "testing"
+
+func TestSnapshotAdd(t *testing.T) {
+	total := Snapshot{"sim.cycles": 100, "cache.hits": 5}
+	total.Add(Snapshot{"sim.cycles": 50, "trap.cache-fault": 2})
+	want := Snapshot{"sim.cycles": 150, "cache.hits": 5, "trap.cache-fault": 2}
+	if !total.Equal(want) {
+		t.Fatalf("Add produced %v, want %v", total, want)
+	}
+	// Adding an empty snapshot is the identity.
+	total.Add(nil)
+	if !total.Equal(want) {
+		t.Fatalf("Add(nil) changed the snapshot: %v", total)
+	}
+}

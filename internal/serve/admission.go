@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ghostbusters/internal/polybench"
+)
+
+// Quota bounds one tenant. Zero fields take the package defaults noted
+// per field; a budget of 0 means unlimited (quotas restrict, they do
+// not meter by default).
+type Quota struct {
+	// MaxInFlight caps the tenant's jobs that are queued or running at
+	// once — the admission-time form of "max concurrent runs" (a job
+	// occupies a worker only while running, but a tenant cannot stage
+	// unbounded work either). 0 means 8, < 0 means unlimited.
+	MaxInFlight int
+
+	// CycleBudget is the tenant's cumulative simulated-cycle budget
+	// across all of its jobs. Admission carves a per-job allowance out
+	// of the remainder and enforces it through the machine's MaxCycles
+	// hook, so the sum of all simulated work can never exceed the
+	// budget. 0 = unlimited.
+	CycleBudget uint64
+
+	// MemBudget is the tenant's cumulative guest-memory budget in
+	// bytes: every matrix cell charges the machine's MemSize at
+	// admission. 0 = unlimited.
+	MemBudget uint64
+
+	// MaxJobCycles clamps the per-job cycle allowance below the
+	// remaining budget (0 = no extra clamp).
+	MaxJobCycles uint64
+}
+
+func (q Quota) maxInFlight() int {
+	switch {
+	case q.MaxInFlight == 0:
+		return 8
+	case q.MaxInFlight < 0:
+		return 1 << 30
+	default:
+		return q.MaxInFlight
+	}
+}
+
+// tenantState is the server-side ledger of one tenant.
+type tenantState struct {
+	name  string
+	quota Quota
+
+	inFlight int
+
+	cyclesUsed     uint64 // settled simulated cycles of finished jobs
+	cyclesReserved uint64 // allowances of admitted, unfinished jobs
+	memUsed        uint64 // cumulative guest-memory bytes charged
+	rejects        uint64
+}
+
+// tenant returns (creating on first use) the ledger for a name; caller
+// holds s.mu.
+func (s *Server) tenant(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		q, ok := s.cfg.Tenants[name]
+		if !ok {
+			q = s.cfg.DefaultQuota
+		}
+		t = &tenantState{name: name, quota: q}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// cellCount is how many matrix cells a validated request will run —
+// the unit both budgets are charged in.
+func (s *Server) cellCount(req *JobRequest, nmodes int) int {
+	switch req.Kind {
+	case KindRun:
+		return 1
+	case KindKernel:
+		return nmodes
+	default: // KindFig4: every kernel plus the two Spectre PoCs
+		return (len(polybench.All()) + 2) * nmodes
+	}
+}
+
+// admit validates the request, applies the tenant's quotas, reserves
+// its grants and enqueues the job. The returned APIError (with its
+// HTTP status) is the structured rejection; admitted jobs come back in
+// the queued state.
+func (s *Server) admit(req JobRequest) (*Job, int, *APIError) {
+	modes, aerr := req.validate()
+	if aerr != nil {
+		return nil, 400, aerr
+	}
+	cells := s.cellCount(&req, len(modes))
+	memCharge := uint64(cells) * s.base.MemSize
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, 503, &APIError{Code: CodeDraining, Message: "server is draining; not accepting jobs"}
+	}
+	t := s.tenant(req.Tenant)
+
+	if t.inFlight >= t.quota.maxInFlight() {
+		t.rejects++
+		s.metrics.reject(CodeTooManyJobs)
+		return nil, 429, &APIError{
+			Code:          CodeTooManyJobs,
+			Message:       fmt.Sprintf("tenant %s has %d jobs in flight (max %d)", t.name, t.inFlight, t.quota.maxInFlight()),
+			RetryAfterSec: 1,
+		}
+	}
+	if t.quota.MemBudget > 0 && t.memUsed+memCharge > t.quota.MemBudget {
+		t.rejects++
+		s.metrics.reject(CodeMemExhausted)
+		return nil, 403, &APIError{
+			Code: CodeMemExhausted,
+			Message: fmt.Sprintf("tenant %s guest-memory budget exhausted: %d of %d bytes used, job needs %d",
+				t.name, t.memUsed, t.quota.MemBudget, memCharge),
+		}
+	}
+	var allowance uint64 // 0 = unlimited
+	if t.quota.CycleBudget > 0 {
+		remaining := t.quota.CycleBudget - t.cyclesUsed - t.cyclesReserved
+		if t.cyclesUsed+t.cyclesReserved >= t.quota.CycleBudget {
+			remaining = 0
+		}
+		if remaining == 0 {
+			t.rejects++
+			s.metrics.reject(CodeCycleExhausted)
+			return nil, 403, &APIError{
+				Code: CodeCycleExhausted,
+				Message: fmt.Sprintf("tenant %s cycle budget exhausted: %d used + %d reserved of %d",
+					t.name, t.cyclesUsed, t.cyclesReserved, t.quota.CycleBudget),
+			}
+		}
+		allowance = remaining
+		if t.quota.MaxJobCycles > 0 && allowance > t.quota.MaxJobCycles {
+			allowance = t.quota.MaxJobCycles
+		}
+	}
+	if req.MaxCycles > 0 && (allowance == 0 || req.MaxCycles < allowance) {
+		// The request may tighten its own cap, never widen it. When the
+		// tenant is unmetered this *is* the allowance.
+		allowance = req.MaxCycles
+	}
+
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.rootCtx)
+	j := &Job{
+		ID:             fmt.Sprintf("j-%06d", s.nextID),
+		Tenant:         req.Tenant,
+		Req:            req,
+		ctx:            ctx,
+		cancel:         cancel,
+		done:           make(chan struct{}),
+		cycleAllowance: allowance,
+		memCharge:      memCharge,
+		cells:          cells,
+		modes:          modes,
+		state:          StateQueued,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		t.rejects++
+		s.metrics.reject(CodeQueueFull)
+		return nil, 429, &APIError{
+			Code:          CodeQueueFull,
+			Message:       fmt.Sprintf("admission queue full (%d deep); retry shortly", cap(s.queue)),
+			RetryAfterSec: 2,
+		}
+	}
+	// The job is in: reserve its grants and register it.
+	t.inFlight++
+	if t.quota.CycleBudget > 0 {
+		t.cyclesReserved += allowance
+	}
+	t.memUsed += memCharge
+	s.jobs[j.ID] = j
+	s.queued++
+	s.metrics.submit()
+	s.log.Printf("serve: %s admitted: tenant=%s kind=%s cells=%d allowance=%d", j.ID, j.Tenant, req.Kind, cells, allowance)
+	return j, 202, nil
+}
+
+// jobTimeout resolves a request's effective deadline: the server's job
+// timeout by default, and never more than it.
+func (s *Server) jobTimeout(req *JobRequest) time.Duration {
+	if req.TimeoutMS > 0 {
+		d := time.Duration(req.TimeoutMS) * time.Millisecond
+		if d < s.timeout {
+			return d
+		}
+	}
+	return s.timeout
+}

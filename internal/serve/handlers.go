@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit (202, or structured 4xx/5xx rejection)
+//	GET    /v1/jobs/{id}        status (?wait=1 blocks until terminal)
+//	GET    /v1/jobs/{id}/output rendered output of a finished job (text/plain)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness (always 200 while the process serves)
+//	GET    /readyz              admission readiness (503 once draining)
+//	GET    /metrics             Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, aerr *APIError) {
+	if aerr.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.RetryAfterSec))
+	}
+	writeJSON(w, status, struct {
+		Error *APIError `json:"error"`
+	}{aerr})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	body := http.MaxBytesReader(w, r.Body, 2<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				&APIError{Code: CodeInvalid, Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeError(w, http.StatusBadRequest,
+			&APIError{Code: CodeInvalid, Message: "malformed JSON: " + err.Error()})
+		return
+	}
+	j, status, aerr := s.admit(req)
+	if aerr != nil {
+		writeError(w, status, aerr)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusRequestTimeout,
+				&APIError{Code: CodeCanceled, Message: "client went away while waiting; job continues", RetryAfterSec: 1})
+			return
+		}
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, status, st)
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+		}
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleOutput renders a finished job's primary output as text/plain:
+// the sweep table for kernel/fig4 jobs (byte-identical to the gbbench
+// stdout for the same experiment) or the gbrun-style summary line for
+// run jobs.
+func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
+		return
+	}
+	s.mu.Lock()
+	state, res, aerr := j.state, j.result, j.apiErr
+	s.mu.Unlock()
+	switch state {
+	case StateDone:
+	case StateFailed, StateCanceled:
+		writeError(w, http.StatusConflict, aerr)
+		return
+	default:
+		writeError(w, http.StatusConflict,
+			&APIError{Code: CodeInvalid, Message: "job is " + state + "; output exists once it is done", RetryAfterSec: 1})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if j.Req.Kind == KindRun {
+		fmt.Fprintf(w, "exit=%d cycles=%d instret=%d\n", res.ExitCode, res.Cycles, res.Instret)
+		return
+	}
+	_, _ = w.Write([]byte(res.Table))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
+		return
+	}
+	j.cancel()
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"ghostbusters/internal/obs"
+)
+
+// serverMetrics holds the service-level counters behind its own mutex
+// (lock order: s.mu may be held when taking metrics.mu, never the
+// reverse).
+type serverMetrics struct {
+	mu        sync.Mutex
+	submitted uint64
+	rejected  map[string]uint64 // by rejection code
+	completed map[string]uint64 // by terminal state
+	panics    uint64
+	sim       obs.Snapshot // fleet-wide aggregate of run snapshots
+}
+
+func (m *serverMetrics) init() {
+	m.rejected = make(map[string]uint64)
+	m.completed = make(map[string]uint64)
+	m.sim = make(obs.Snapshot)
+}
+
+func (m *serverMetrics) submit() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) reject(code string) {
+	m.mu.Lock()
+	m.rejected[code]++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) complete(state string) {
+	m.mu.Lock()
+	m.completed[state]++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) panic() {
+	m.mu.Lock()
+	m.panics++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addRun(snap obs.Snapshot) {
+	m.mu.Lock()
+	m.sim.Add(snap)
+	m.mu.Unlock()
+}
+
+// promName maps an obs stable name (dots and dashes) onto the
+// Prometheus grammar.
+func promName(name string) string {
+	return "gb_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// handleMetrics renders the Prometheus text exposition: server gauges
+// and counters under gbserve_*, per-tenant ledgers labelled by tenant,
+// and the fleet-wide simulator aggregate under gb_*. Output order is
+// deterministic (sorted) so scrapes diff cleanly.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	s.mu.Lock()
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	fmt.Fprintf(&b, "gbserve_draining %d\n", draining)
+	fmt.Fprintf(&b, "gbserve_jobs_queued %d\n", s.queued)
+	fmt.Fprintf(&b, "gbserve_jobs_running %d\n", s.running)
+	fmt.Fprintf(&b, "gbserve_queue_depth %d\n", cap(s.queue))
+	fmt.Fprintf(&b, "gbserve_workers %d\n", s.workers)
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.tenants[name]
+		fmt.Fprintf(&b, "gbserve_tenant_in_flight{tenant=%q} %d\n", name, t.inFlight)
+		fmt.Fprintf(&b, "gbserve_tenant_cycles_used{tenant=%q} %d\n", name, t.cyclesUsed)
+		fmt.Fprintf(&b, "gbserve_tenant_cycles_reserved{tenant=%q} %d\n", name, t.cyclesReserved)
+		fmt.Fprintf(&b, "gbserve_tenant_mem_used_bytes{tenant=%q} %d\n", name, t.memUsed)
+		fmt.Fprintf(&b, "gbserve_tenant_rejects_total{tenant=%q} %d\n", name, t.rejects)
+	}
+	s.mu.Unlock()
+
+	s.metrics.mu.Lock()
+	fmt.Fprintf(&b, "gbserve_jobs_submitted_total %d\n", s.metrics.submitted)
+	fmt.Fprintf(&b, "gbserve_job_panics_total %d\n", s.metrics.panics)
+	for _, kv := range sortedCounts(s.metrics.rejected) {
+		fmt.Fprintf(&b, "gbserve_jobs_rejected_total{code=%q} %d\n", kv.k, kv.v)
+	}
+	for _, kv := range sortedCounts(s.metrics.completed) {
+		fmt.Fprintf(&b, "gbserve_jobs_completed_total{state=%q} %d\n", kv.k, kv.v)
+	}
+	simNames := make([]string, 0, len(s.metrics.sim))
+	for name := range s.metrics.sim {
+		simNames = append(simNames, name)
+	}
+	sort.Strings(simNames)
+	for _, name := range simNames {
+		fmt.Fprintf(&b, "%s %d\n", promName(name), s.metrics.sim[name])
+	}
+	s.metrics.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+type kv struct {
+	k string
+	v uint64
+}
+
+func sortedCounts(m map[string]uint64) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].k < out[j].k })
+	return out
+}

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/harness"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest, query string) (*http.Response, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs"+query, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode < 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding job status: %v", err)
+		}
+	}
+	return resp, st
+}
+
+func getBody(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestRunJobOverHTTP(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, JobRequest{Tenant: "alice", Kind: KindRun, Program: quickProg}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if st.State != StateDone || st.Result == nil {
+		t.Fatalf("job = %+v, want done with a result", st)
+	}
+	if st.Result.ExitCode != 42 || st.Result.Cycles == 0 {
+		t.Fatalf("result = %+v, want exit 42 and nonzero cycles", st.Result)
+	}
+	if len(st.Result.Metrics) == 0 {
+		t.Fatalf("result has no metrics snapshot")
+	}
+
+	// Status and output are retrievable after the fact.
+	code, body := getBody(t, ts, "/v1/jobs/"+st.ID)
+	if code != http.StatusOK || !strings.Contains(body, `"state": "done"`) {
+		t.Fatalf("status endpoint: %d %q", code, body)
+	}
+	code, body = getBody(t, ts, "/v1/jobs/"+st.ID+"/output")
+	if code != http.StatusOK || !strings.HasPrefix(body, "exit=42 cycles=") {
+		t.Fatalf("output endpoint: %d %q", code, body)
+	}
+	if code, _ := getBody(t, ts, "/v1/jobs/j-999999"); code != http.StatusNotFound {
+		t.Fatalf("missing job status = %d, want 404", code)
+	}
+}
+
+// TestFig4OverHTTPMatchesLocal is the wire contract: the fig4 table a
+// job returns must be byte-identical to what gbbench prints for the
+// same experiment locally.
+func TestFig4OverHTTPMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig4 matrix in -short mode")
+	}
+	const n = 4
+	s := newTestServer(t, func(c *Config) { c.JobTimeout = 120 * time.Second })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Local reference, computed the way gbbench -exp fig4 does.
+	runner := &harness.Runner{Workers: 2, Artifacts: harness.NewArtifacts()}
+	rows, err := runner.RunMatrix(context.Background(), dbt.DefaultConfig(), harness.Fig4Benches(n), harness.Fig4Modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Figure 4 — slowdown vs. unsafe execution (lower is better)\n" +
+		"columns: unsafe baseline cycles; then % of unsafe time per countermeasure\n" +
+		"\n" + harness.FormatRows(rows, harness.Fig4Modes)
+
+	resp, st := postJob(t, ts, JobRequest{Tenant: "alice", Kind: KindFig4, N: n}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone {
+		t.Fatalf("fig4 job = %d %+v", resp.StatusCode, st)
+	}
+	code, got := getBody(t, ts, "/v1/jobs/"+st.ID+"/output")
+	if code != http.StatusOK {
+		t.Fatalf("output status %d", code)
+	}
+	if got != want {
+		t.Fatalf("fig4 over HTTP diverges from local run:\n--- local ---\n%s\n--- http ---\n%s", want, got)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, JobRequest{Tenant: "alice", Kind: KindRun, Program: slowProg}, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	dresp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", dresp.StatusCode)
+	}
+	final := waitJob(t, s, s.lookup(st.ID))
+	if final.State != StateCanceled || final.Error == nil || final.Error.Code != CodeCanceled {
+		t.Fatalf("canceled job = %+v, want canceled state", final)
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	s := newTestServer(t, nil)
+	j, _, aerr := s.admit(JobRequest{Tenant: "alice", Kind: KindRun, Program: slowProg, TimeoutMS: 50})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	st := waitJob(t, s, j)
+	if st.State != StateFailed || st.Error == nil || st.Error.Code != CodeDeadline {
+		t.Fatalf("deadline job = %+v, want failed %s", st, CodeDeadline)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.testHookBeforeRun = func(j *Job) {
+		if j.Req.Kind == KindRun && strings.Contains(j.Req.Program, "li a0, 13") {
+			panic("poisoned request")
+		}
+	}
+	poison, _, aerr := s.admit(JobRequest{Tenant: "mallory", Kind: KindRun, Program: "main:\n\tli a0, 13\n\tecall\n"})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	st := waitJob(t, s, poison)
+	if st.State != StateFailed || st.Error == nil || st.Error.Code != CodePanic {
+		t.Fatalf("poisoned job = %+v, want failed %s", st, CodePanic)
+	}
+	// The worker that recovered is still serving.
+	for i := 0; i < 4; i++ {
+		j, _, aerr := s.admit(JobRequest{Tenant: "alice", Kind: KindRun, Program: quickProg})
+		if aerr != nil {
+			t.Fatal(aerr)
+		}
+		if st := waitJob(t, s, j); st.State != StateDone {
+			t.Fatalf("job after panic = %+v, want done", st)
+		}
+	}
+	s.metrics.mu.Lock()
+	panics := s.metrics.panics
+	s.metrics.mu.Unlock()
+	if panics != 1 {
+		t.Fatalf("panic counter = %d, want 1", panics)
+	}
+}
+
+func TestFaultInjectionFailsAfterRetries(t *testing.T) {
+	s := newTestServer(t, nil)
+	// A certain spurious interrupt every poll window kills every
+	// attempt, so the retry budget runs dry and the transient trap is
+	// surfaced (translation failures degrade to interpretation instead).
+	j, _, aerr := s.admit(JobRequest{
+		Tenant: "chaos", Kind: KindRun, Program: slowProg,
+		Inject:  &InjectSpec{Seed: 7, InterruptRate: 1},
+		Retries: 2,
+	})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	st := waitJob(t, s, j)
+	if st.State != StateFailed || st.Error == nil || st.Error.Code != CodeGuestTrap {
+		t.Fatalf("always-faulting job = %+v, want failed %s", st, CodeGuestTrap)
+	}
+}
+
+func TestHealthReadyAndMetrics(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Tenants = map[string]Quota{"alice": {CycleBudget: 1 << 30}}
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := getBody(t, ts, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, body := getBody(t, ts, "/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("readyz = %d %q", code, body)
+	}
+
+	resp, st := postJob(t, ts, JobRequest{Tenant: "alice", Kind: KindRun, Program: quickProg}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone {
+		t.Fatalf("job = %d %+v", resp.StatusCode, st)
+	}
+	code, body := getBody(t, ts, "/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, line := range []string{
+		"gbserve_jobs_submitted_total 1",
+		`gbserve_jobs_completed_total{state="done"} 1`,
+		`gbserve_tenant_in_flight{tenant="alice"} 0`,
+		`gbserve_tenant_cycles_used{tenant="alice"} `,
+		"gbserve_draining 0",
+		"gb_sim_cycles ",
+	} {
+		if !strings.Contains(body, line) {
+			t.Fatalf("metrics missing %q:\n%s", line, body)
+		}
+	}
+
+	// Drain: readyz flips, metrics report it, submits shed.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := getBody(t, ts, "/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Fatalf("readyz while draining = %d %q", code, body)
+	}
+	if resp, _ := postJob(t, ts, JobRequest{Tenant: "alice", Kind: KindRun, Program: quickProg}, ""); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	if code, body := getBody(t, ts, "/metrics"); code != 200 || !strings.Contains(body, "gbserve_draining 1") {
+		t.Fatalf("metrics while draining: %d\n%s", code, body)
+	}
+}
+
+func TestDrainCancelsStragglers(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.DrainTimeout = 200 * time.Millisecond
+	})
+	j, _, aerr := s.admit(JobRequest{Tenant: "alice", Kind: KindRun, Program: slowProg})
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("drain took %v; the straggler was not cancelled", elapsed)
+	}
+	s.mu.Lock()
+	st := j.status()
+	s.mu.Unlock()
+	if st.State != StateCanceled {
+		t.Fatalf("straggler ended %+v, want canceled", st)
+	}
+}
+
+func TestKernelSweepOverHTTP(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.JobTimeout = 120 * time.Second })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, JobRequest{
+		Tenant: "alice", Kind: KindKernel, Kernel: "gemm", N: 4,
+		Modes: []string{"unsafe", "ghostbusters"},
+	}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone || st.Result == nil {
+		t.Fatalf("kernel job = %d %+v", resp.StatusCode, st)
+	}
+	if st.Result.Cells != 2 {
+		t.Fatalf("cells = %d, want 2", st.Result.Cells)
+	}
+	if !strings.Contains(st.Result.Table, "gemm") {
+		t.Fatalf("table does not mention the kernel:\n%s", st.Result.Table)
+	}
+	if st.Result.Metrics["sim.cycles"] == 0 {
+		t.Fatalf("sweep metrics have no cycles: %v", st.Result.Metrics)
+	}
+}
+
+func TestSubmitRejectsMalformedJSON(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit = %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == nil || e.Error.Code != CodeInvalid {
+		t.Fatalf("malformed submit body: %+v err=%v", e, err)
+	}
+}
+
+func TestRetryAfterHeaderOnShedding(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+	})
+	s.testHookBeforeRun = func(*Job) { <-gate }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJob(t, ts, JobRequest{Tenant: "a", Kind: KindRun, Program: quickProg}, "")
+	deadline := time.After(10 * time.Second)
+	for {
+		s.mu.Lock()
+		running := s.running
+		s.mu.Unlock()
+		if running == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("worker never started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	postJob(t, ts, JobRequest{Tenant: "b", Kind: KindRun, Program: quickProg}, "")
+	resp, _ := postJob(t, ts, JobRequest{Tenant: "c", Kind: KindRun, Program: quickProg}, "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response has no Retry-After header")
+	}
+}

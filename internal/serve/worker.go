@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"ghostbusters/internal/core"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/harness"
+	"ghostbusters/internal/obs"
+	"ghostbusters/internal/polybench"
+	"ghostbusters/internal/riscv"
+	"ghostbusters/internal/trap"
+)
+
+// worker is one fleet goroutine: it drains the admission queue until
+// Shutdown closes it. Every job runs inside the panic-isolation
+// boundary of execute, so a poisoned request ends one job, never a
+// worker.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob moves a job queued→running→terminal and keeps the ledgers
+// straight on every path.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	s.queued--
+	if j.ctx.Err() != nil {
+		s.mu.Unlock()
+		s.finish(j, 0, nil, &APIError{Code: CodeCanceled, Message: "job canceled before it started"})
+		return
+	}
+	j.state = StateRunning
+	s.running++
+	s.mu.Unlock()
+
+	res, spent, aerr := s.execute(j)
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	s.finish(j, spent, res, aerr)
+}
+
+// finish records a job's terminal state, settles its tenant ledger and
+// releases its context. Results are "flushed" here: the terminal state
+// is logged and visible to status polls the instant the lock drops.
+func (s *Server) finish(j *Job, spent uint64, res *JobResult, aerr *APIError) {
+	s.mu.Lock()
+	switch {
+	case aerr == nil:
+		j.state = StateDone
+		j.result = res
+		if len(res.Metrics) > 0 {
+			s.metrics.addRun(res.Metrics)
+		}
+	case aerr.Code == CodeCanceled:
+		j.state = StateCanceled
+		j.apiErr = aerr
+	default:
+		j.state = StateFailed
+		j.apiErr = aerr
+	}
+	t := s.tenant(j.Tenant)
+	t.inFlight--
+	if t.quota.CycleBudget > 0 {
+		if spent > j.cycleAllowance && j.cycleAllowance > 0 {
+			spent = j.cycleAllowance
+		}
+		t.cyclesReserved -= j.cycleAllowance
+		t.cyclesUsed += spent
+	}
+	s.metrics.complete(j.state)
+	state := j.state
+	s.mu.Unlock()
+	j.cancel() // release the job context's resources on every path
+	close(j.done)
+	if aerr != nil {
+		s.log.Printf("serve: %s %s: %s (%d cycles charged)", j.ID, state, aerr.Error(), spent)
+	} else {
+		s.log.Printf("serve: %s %s (%d cycles charged)", j.ID, state, spent)
+	}
+}
+
+// execute runs one job inside the panic-isolation boundary and returns
+// its result, the simulated cycles it consumed, and its failure.
+func (s *Server) execute(j *Job) (res *JobResult, spent uint64, aerr *APIError) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panic()
+			res = nil
+			spent = j.cycleAllowance // mid-run state unknown: charge conservatively
+			aerr = &APIError{Code: CodePanic, Message: fmt.Sprintf("job panicked (isolated): %v", r)}
+			s.log.Printf("serve: %s PANIC isolated: %v", j.ID, r)
+		}
+	}()
+	if s.testHookBeforeRun != nil {
+		s.testHookBeforeRun(j)
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, s.jobTimeout(&j.Req))
+	defer cancel()
+
+	cfg := s.base
+	cfg.TransCache = s.cfg.TransCache
+	if j.Req.Kind == KindRun {
+		return s.executeRun(ctx, j, cfg)
+	}
+	return s.executeSweep(ctx, j, cfg)
+}
+
+// injectFor builds the job's fault injector for one attempt (reseeded
+// per retry, like the harness).
+func injectFor(spec *InjectSpec, attempt int) *dbt.FaultInject {
+	if spec == nil {
+		return nil
+	}
+	return &dbt.FaultInject{
+		Seed:                   spec.Seed + uint64(attempt),
+		TranslationFailureRate: spec.TranslationRate,
+		CacheFaultRate:         spec.CacheRate,
+		SpuriousInterruptRate:  spec.InterruptRate,
+	}
+}
+
+// retryBudget resolves a job's transient-fault retry count.
+func (s *Server) retryBudget(j *Job) int {
+	if j.Req.Retries > 0 {
+		return j.Req.Retries
+	}
+	return s.cfg.Retries
+}
+
+// executeRun assembles and runs an untrusted guest program. The
+// tenant's cycle allowance is enforced by MaxCycles across all
+// attempts together: each retry runs under whatever remains.
+func (s *Server) executeRun(ctx context.Context, j *Job, cfg dbt.Config) (*JobResult, uint64, *APIError) {
+	prog, err := riscv.Assemble(j.Req.Program)
+	if err != nil {
+		return nil, 0, &APIError{Code: CodeInvalid, Message: fmt.Sprintf("assembly failed: %v", err)}
+	}
+	cfg.Mitigation = j.modes[0]
+	cfg.Interrupt = ctx.Done()
+	bo := harness.Backoff{Base: s.cfg.Backoff, Max: s.cfg.BackoffMax, Seed: s.cfg.BackoffSeed}
+	retries := s.retryBudget(j)
+
+	var total uint64
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := bo.Sleep(ctx, attempt, j.ID); err != nil {
+				return nil, total, s.ctxError(ctx)
+			}
+		}
+		if j.cycleAllowance > 0 {
+			remaining := j.cycleAllowance - total
+			if total >= j.cycleAllowance {
+				return nil, total, &APIError{
+					Code:     CodeGuestTrap,
+					Message:  fmt.Sprintf("cycle allowance %d exhausted across %d attempts", j.cycleAllowance, attempt),
+					TrapKind: trap.CycleBudgetExceeded.String(),
+				}
+			}
+			cfg.MaxCycles = remaining
+		}
+		cfg.FaultInject = injectFor(j.Req.Inject, attempt)
+
+		res, cycles, runErr := runGuest(cfg, prog)
+		total += cycles
+		if runErr == nil {
+			return &JobResult{
+				ExitCode: int(res.Exit.Code),
+				Cycles:   res.Cycles,
+				Instret:  res.Instret,
+				Metrics:  res.Snapshot(),
+			}, total, nil
+		}
+		if f := trap.As(runErr); f != nil {
+			if f.Transient() && attempt < retries && ctx.Err() == nil {
+				continue
+			}
+			return nil, total, trapError(f)
+		}
+		if errors.Is(runErr, dbt.ErrInterrupted) || ctx.Err() != nil {
+			return nil, total, s.ctxError(ctx)
+		}
+		return nil, total, &APIError{Code: CodeHostError, Message: runErr.Error()}
+	}
+}
+
+// runGuest is one machine lifecycle: build, load, run, release. The
+// returned cycle count is what the guest consumed regardless of
+// outcome (faulted and interrupted runs are metered too).
+func runGuest(cfg dbt.Config, prog *riscv.Program) (*dbt.Result, uint64, error) {
+	m, err := dbt.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer m.Release()
+	if err := m.Load(prog); err != nil {
+		return nil, 0, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, m.Cycles(), err
+	}
+	return res, res.Cycles, nil
+}
+
+// executeSweep runs a kernel or fig4 matrix job on a harness Runner
+// that shares the server-wide artifact and translation caches. The
+// cycle allowance is split evenly across the matrix cells and enforced
+// per cell through MaxCycles.
+func (s *Server) executeSweep(ctx context.Context, j *Job, cfg dbt.Config) (*JobResult, uint64, *APIError) {
+	var benches []harness.Bench
+	switch j.Req.Kind {
+	case KindKernel:
+		k, err := polybench.ByName(j.Req.Kernel)
+		if err != nil {
+			return nil, 0, &APIError{Code: CodeInvalid, Message: err.Error()}
+		}
+		benches = []harness.Bench{harness.KernelBench(k, j.Req.N)}
+	case KindFig4:
+		benches = harness.Fig4Benches(j.Req.N)
+	}
+	if j.cycleAllowance > 0 {
+		per := j.cycleAllowance / uint64(j.cells)
+		if per == 0 {
+			per = 1 // allowance smaller than the matrix: every cell traps immediately
+		}
+		cfg.MaxCycles = per
+	}
+	cfg.FaultInject = injectFor(j.Req.Inject, 0)
+
+	runner := &harness.Runner{
+		Workers:     s.cfg.JobParallelism,
+		Artifacts:   s.arts,
+		Retries:     s.retryBudget(j),
+		Backoff:     s.cfg.Backoff,
+		BackoffMax:  s.cfg.BackoffMax,
+		BackoffSeed: s.cfg.BackoffSeed,
+		TransCache:  s.cfg.TransCache,
+	}
+	rows, err := runner.RunMatrix(ctx, cfg, benches, j.modes)
+	spent := sweepCycles(rows, j.modes)
+	if err != nil {
+		if f := trap.As(err); f != nil {
+			return nil, spent, trapError(f)
+		}
+		if ctx.Err() != nil || errors.Is(err, dbt.ErrInterrupted) {
+			return nil, spent, s.ctxError(ctx)
+		}
+		return nil, spent, &APIError{Code: CodeHostError, Message: err.Error()}
+	}
+
+	res := &JobResult{
+		Table:   renderTable(j.Req.Kind, rows, j.modes),
+		Cells:   len(rows) * len(j.modes),
+		Metrics: obs.Snapshot{},
+	}
+	for _, r := range rows {
+		for _, m := range j.modes {
+			if c, ok := r.Cycles[m]; ok {
+				res.Metrics.Add(r.Stats[m].Snapshot(c))
+			}
+		}
+	}
+	return res, spent, nil
+}
+
+// sweepCycles totals the simulated cycles of every completed cell —
+// partial rows from a failed or interrupted matrix are metered too.
+func sweepCycles(rows []*harness.Row, modes []core.Mode) uint64 {
+	var total uint64
+	for _, r := range rows {
+		for _, m := range modes {
+			total += r.Cycles[m]
+		}
+	}
+	return total
+}
+
+// renderTable renders a sweep result byte-identically to the gbbench
+// stdout for the same experiment — the contract the serve smoke test
+// diffs against a local run.
+func renderTable(kind string, rows []*harness.Row, modes []core.Mode) string {
+	table := harness.FormatRows(rows, modes)
+	if kind == KindFig4 {
+		return "Figure 4 — slowdown vs. unsafe execution (lower is better)\n" +
+			"columns: unsafe baseline cycles; then % of unsafe time per countermeasure\n" +
+			"\n" + table
+	}
+	return table
+}
+
+// trapError maps a structured guest trap onto the wire.
+func trapError(f *trap.Fault) *APIError {
+	return &APIError{
+		Code:     CodeGuestTrap,
+		Message:  f.Error(),
+		TrapKind: f.Kind.String(),
+		GuestPC:  f.PC,
+		Cycle:    f.Cycle,
+	}
+}
+
+// ctxError distinguishes a deadline kill from a cancellation.
+func (s *Server) ctxError(ctx context.Context) *APIError {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &APIError{Code: CodeDeadline, Message: "job deadline exceeded; machine interrupted and released"}
+	}
+	return &APIError{Code: CodeCanceled, Message: "job canceled; machine interrupted and released"}
+}

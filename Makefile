@@ -9,13 +9,15 @@
 #   make trace   capture a Perfetto trace of the Spectre v1 PoC
 #   make trace-v4  same for Spectre v4 (MCB rollbacks on the timeline)
 #   make audit   run the v1 PoC with the leakage audit layer on
+#   make detect-eval  score the online attack-phase detector over the
+#                labeled corpus (precision/recall/FPR + scored JSON)
 #   make serve-smoke  end-to-end smoke of the gbserve daemon
 #   make soak    the multi-tenant chaos soak test under the race detector
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf trace trace-v4 audit serve-smoke soak
+.PHONY: build fmt test vet race check fuzz bench bench-quick fig4 perf trace trace-v4 audit detect-eval serve-smoke soak
 
 build:
 	$(GO) build ./...
@@ -45,6 +47,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzAsmRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/riscv
 	$(GO) test -run '^$$' -fuzz '^FuzzStep$$'         -fuzztime $(FUZZTIME) ./internal/riscv
 	$(GO) test -run '^$$' -fuzz '^FuzzInterpVsVLIW$$' -fuzztime $(FUZZTIME) ./internal/dbt
+	$(GO) test -run '^$$' -fuzz '^FuzzWindowClassifier$$' -fuzztime $(FUZZTIME) ./internal/detect
 
 # Full benchmark sweep across every package, with allocation counts.
 # The output is benchstat-compatible: run it on two checkouts with
@@ -85,6 +88,17 @@ trace-v4:
 audit:
 	$(GO) run ./cmd/gbspectre -variant v1 -mode ghostbusters -audit -audit-json audit_v1.json
 	@echo "wrote audit_v1.json"
+
+# Detection accuracy over the labeled corpus: every polybench kernel
+# (benign) and both Spectre PoCs under every registered mitigation,
+# scored against the scoreboard's ground truth. Prints the
+# precision/recall/FPR headline and the per-cell verdict table; the
+# scored matrix (schema ghostbusters/detect-eval/v1) lands in
+# detect_eval.json. -n 8 shrinks the kernels — the benign corpus only
+# needs to span many detector windows, not run at full problem sizes.
+detect-eval:
+	$(GO) run ./cmd/gbbench -exp detect -n 8 -detect-json detect_eval.json
+	@echo "wrote detect_eval.json"
 
 # End-to-end smoke of the simulation service: boots a real gbserve
 # process, drives the HTTP API (fig4 byte-identity, quotas, metrics)

@@ -7,6 +7,14 @@
 //	gbbench -exp ptrmm   the pointer-layout matmul experiment
 //	                     (Section V-B, last paragraph)
 //	gbbench -exp kernel -kernel gemm -n 24   a single kernel
+//	gbbench -exp detect  score the online attack-phase detector over a
+//	                     labeled corpus: every polybench kernel (benign
+//	                     negatives) and both Spectre PoCs (positives
+//	                     where the scoreboard proves leakage), each under
+//	                     every registered mitigation mode. Prints the
+//	                     precision/recall/FPR headline and the per-cell
+//	                     verdict table; -detect-json writes the scored
+//	                     matrix (schema ghostbusters/detect-eval/v1)
 //
 // Matrix experiments (fig4/ptrmm/kernel) fan out over a worker pool:
 // -j bounds the pool (default GOMAXPROCS) and -timeout puts a
@@ -65,6 +73,7 @@ import (
 
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
 	"ghostbusters/internal/polybench"
 	"ghostbusters/internal/tcache"
@@ -80,7 +89,7 @@ const (
 )
 
 func main() {
-	exp := flag.String("exp", "fig4", "experiment: fig4 | poc | ptrmm | kernel")
+	exp := flag.String("exp", "fig4", "experiment: fig4 | poc | ptrmm | kernel | detect")
 	kernel := flag.String("kernel", "gemm", "kernel name for -exp kernel")
 	n := flag.Int("n", 0, "problem size override (0 = default)")
 	width := flag.Int("width", 4, "VLIW issue width: 2, 4 or 8")
@@ -89,6 +98,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock limit per benchmark run (0 = none)")
 	perfjson := flag.String("perfjson", "", "write per-(benchmark,mode) perf JSON to this file (fig4/ptrmm/kernel)")
 	checkperf := flag.String("checkperf", "", "fail on simulated-cycle regressions vs this perf JSON baseline")
+	detectJSON := flag.String("detect-json", "", "with -exp detect, write the scored evaluation matrix as JSON to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	retries := flag.Int("retries", 0, "retry attempts per benchmark run after a transient (injected) fault")
@@ -286,6 +296,39 @@ func main() {
 			fmt.Printf("\npatterns detected: %d, risky loads pinned: %d, guard edges: %d\n",
 				gb.PatternsFound, gb.RiskyLoads, gb.GuardEdges)
 		}
+
+	case "detect":
+		// -modes only narrows the matrix when set explicitly; the
+		// default detect corpus spans every registered mitigation.
+		var evalModes []core.Mode
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "modes" {
+				evalModes = modes
+			}
+		})
+		start := time.Now()
+		doc, err := detect.Eval(ctx, base, detect.EvalConfig{
+			Workers: *jobs,
+			Timeout: *timeout,
+			Retries: *retries,
+			Backoff: *retryBackoff,
+			KernelN: *n,
+			Modes:   evalModes,
+		})
+		if ctx.Err() != nil || errors.Is(err, dbt.ErrInterrupted) {
+			flushProfiles()
+			fmt.Fprintln(os.Stderr, "gbbench: interrupted:", err)
+			os.Exit(exitInterrupted)
+		}
+		fail(err)
+		fmt.Fprintf(os.Stderr, "gbbench: detect eval: %d cells on %d workers in %v\n",
+			doc.Summary.Cells, *jobs, time.Since(start).Round(time.Millisecond))
+		if *detectJSON != "" {
+			out, err := doc.JSON()
+			fail(err)
+			fail(os.WriteFile(*detectJSON, out, 0o644))
+		}
+		fmt.Print(doc.Table())
 
 	case "kernel":
 		k, err := polybench.ByName(*kernel)

@@ -5,6 +5,7 @@
 //	      [-interp] [-stats] [-json] [-trace] [-traceout file]
 //	      [-trace-format text|jsonl|perfetto] [-profile]
 //	      [-audit] [-audit-json file]
+//	      [-detect] [-detect-json file]
 //	      [-tcache] [-tcache-dir dir] program.s
 //
 // The exit status is the guest's exit code when the guest runs to
@@ -34,6 +35,16 @@
 // -audit-json writes the same audit as a stable JSON document (schema
 // ghostbusters/audit/v1); either flag enables collection. Auditing only
 // costs translation time — the generated code is identical.
+//
+// -detect attaches the online attack-phase detector to the run's event
+// stream and prints its verdict: whether the run showed the
+// Flush+Reload shape (prime→trigger rounds over distinct cache lines),
+// with the inferred phase timeline. -detect-json writes the verdict as
+// a stable JSON document (schema ghostbusters/detect/v1); either flag
+// enables detection. Detection composes with -traceout — the detector
+// rides the same stream as the trace file behind a tee, and the
+// inferred phase/rounds/alarm tracks are appended to the trace so a
+// Perfetto timeline shows the detection overlaid on the raw counters.
 //
 // -tcache persists translated regions across runs (in the user cache
 // dir, or under -tcache-dir): a warm run of the same program and
@@ -81,6 +92,8 @@ func main() {
 	profile := flag.Bool("profile", false, "print the hottest translated regions by attributed cycles")
 	audit := flag.Bool("audit", false, "collect poison provenance and print the audit table")
 	auditJSON := flag.String("audit-json", "", "write the audit as JSON (schema ghostbusters/audit/v1) to this file")
+	detectFlag := flag.Bool("detect", false, "run the online attack-phase detector and print its verdict")
+	detectJSON := flag.String("detect-json", "", "write the detection verdict as JSON (schema ghostbusters/detect/v1) to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	useTCache := flag.Bool("tcache", false, "persist translated code across runs (default cache dir)")
@@ -111,7 +124,11 @@ func main() {
 	}
 	cfg.DisableTranslation = *interp
 	cfg.Audit = *audit || *auditJSON != ""
-	cfg.Tracer = buildTracer(*trace, *traceOut, *traceFormat)
+	var detector *ghostbusters.Detector
+	if *detectFlag || *detectJSON != "" {
+		detector = ghostbusters.NewDetector(ghostbusters.DetectConfig{})
+	}
+	cfg.Tracer = buildTracer(*trace, *traceOut, *traceFormat, detector)
 	transCache := buildTransCache(*useTCache, *tcacheDir)
 	cfg.TransCache = transCache
 
@@ -156,9 +173,30 @@ func main() {
 	if cfg.Audit {
 		writeAudit(machine.Audit(), *audit, *auditJSON)
 	}
+	var detectRep *ghostbusters.DetectReport
+	if detector != nil {
+		// Flush the stream tail into the detector, take the verdict,
+		// then append the inferred phase/rounds/alarm tracks to the
+		// still-open trace so they land in the -traceout file.
+		_ = cfg.Tracer.Flush()
+		detectRep = detector.Report()
+		detectRep.EmitTracks(cfg.Tracer)
+		if *detectFlag {
+			fmt.Print(detectRep.Format())
+		}
+		if *detectJSON != "" {
+			out, err := detectRep.JSON()
+			fail(err)
+			fail(os.WriteFile(*detectJSON, out, 0o644))
+		}
+	}
 	if *stats {
 		if *jsonOut {
-			out, err := json.MarshalIndent(res.Snapshot(), "", "  ")
+			snap := res.Snapshot()
+			if detectRep != nil {
+				detectRep.AddMetrics(snap)
+			}
+			out, err := json.MarshalIndent(snap, "", "  ")
 			fail(err)
 			fmt.Println(string(out))
 		} else {
@@ -242,8 +280,10 @@ var (
 
 // buildTracer wires the requested sinks. -trace alone records at block
 // granularity (the classic stderr log); -traceout records everything
-// including per-speculative-load events.
-func buildTracer(stderrLog bool, path, format string) *ghostbusters.Tracer {
+// including per-speculative-load events. A detector rides the same
+// stream as a tee observer (it needs spec-level events, so it raises
+// the level even without a trace file).
+func buildTracer(stderrLog bool, path, format string, det *ghostbusters.Detector) *ghostbusters.Tracer {
 	var sinks []ghostbusters.TraceSink
 	level := ghostbusters.TraceOff
 	if stderrLog {
@@ -259,13 +299,23 @@ func buildTracer(stderrLog bool, path, format string) *ghostbusters.Tracer {
 		sinks = append(sinks, sink)
 		level = ghostbusters.TraceSpec
 	}
+	var primary ghostbusters.TraceSink
 	switch len(sinks) {
 	case 0:
-		return nil
 	case 1:
-		tracer = ghostbusters.NewTracer(level, sinks[0])
+		primary = sinks[0]
 	default:
-		tracer = ghostbusters.NewTracer(level, ghostbusters.NewTraceMultiSink(sinks...))
+		primary = ghostbusters.NewTraceMultiSink(sinks...)
+	}
+	switch {
+	case det != nil && primary != nil:
+		tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, ghostbusters.NewTraceTee(primary, det))
+	case det != nil:
+		tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, det)
+	case primary != nil:
+		tracer = ghostbusters.NewTracer(level, primary)
+	default:
+		return nil
 	}
 	return tracer
 }

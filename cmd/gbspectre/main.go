@@ -5,6 +5,7 @@
 //	          [-secret hexbytes] [-protect] [-lineflush]
 //	          [-traceout file] [-trace-format text|jsonl|perfetto]
 //	          [-stats] [-json] [-audit] [-audit-json file]
+//	          [-detect] [-detect-json file]
 //	          [-matrix-json file]
 //
 // With no flags it runs both variants under every registered mitigation
@@ -29,6 +30,15 @@
 // attack and print the explainability table / write the JSON document
 // (schema ghostbusters/audit/v1) — the mitigation explaining exactly
 // which loads of the victim it pinned and why.
+//
+// -detect runs the online attack-phase detector against the attack's
+// own event stream — the detector watching the attacker, with the
+// scoreboard as ground truth: the verdict prints alongside the alarm's
+// latency in cycles after the first secret-dependent speculative fill.
+// -detect-json writes the verdict document (schema
+// ghostbusters/detect/v1); either flag enables detection, and both
+// compose with -traceout (the detection tracks are appended to the
+// trace).
 package main
 
 import (
@@ -54,6 +64,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "with -stats, print the metrics snapshot (machine + attack.*) as JSON")
 	audit := flag.Bool("audit", false, "collect poison provenance and print the audit table")
 	auditJSON := flag.String("audit-json", "", "write the audit as JSON (schema ghostbusters/audit/v1) to this file")
+	detectFlag := flag.Bool("detect", false, "run the online attack-phase detector against the attack and print its verdict")
+	detectJSON := flag.String("detect-json", "", "write the detection verdict as JSON (schema ghostbusters/detect/v1) to this file")
 	matrixJSON := flag.String("matrix-json", "", "matrix mode: write the leakage matrix as JSON (schema ghostbusters/leakmatrix/v1) to this file")
 	flag.Parse()
 
@@ -66,10 +78,10 @@ func main() {
 		// lexicographical order, so the error is complete and stable
 		// rather than whichever map key a range happened to yield.
 		singleRunOnly := map[string]bool{
-			"audit": true, "audit-json": true, "json": true,
-			"lineflush": true, "mode": true, "protect": true,
-			"secret": true, "stats": true, "trace-format": true,
-			"traceout": true,
+			"audit": true, "audit-json": true, "detect": true,
+			"detect-json": true, "json": true, "lineflush": true,
+			"mode": true, "protect": true, "secret": true,
+			"stats": true, "trace-format": true, "traceout": true,
 		}
 		var offending []string
 		flag.Visit(func(f *flag.Flag) {
@@ -121,25 +133,47 @@ func main() {
 	}
 
 	var traceFile *os.File
+	var fileSink ghostbusters.TraceSink
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		fail(err)
 		traceFile = f
-		sink, err := ghostbusters.TraceSinkFor(*traceFormat, f)
+		fileSink, err = ghostbusters.TraceSinkFor(*traceFormat, f)
 		fail(err)
-		cfg.Tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, sink)
+	}
+	var detector *ghostbusters.Detector
+	if *detectFlag || *detectJSON != "" {
+		detector = ghostbusters.NewDetector(ghostbusters.DetectConfig{})
+	}
+	switch {
+	case fileSink != nil && detector != nil:
+		cfg.Tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, ghostbusters.NewTraceTee(fileSink, detector))
+	case fileSink != nil:
+		cfg.Tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, fileSink)
+	case detector != nil:
+		cfg.Tracer = ghostbusters.NewTracer(ghostbusters.TraceSpec, detector)
 	}
 	cfg.Audit = *audit || *auditJSON != ""
 
 	res, err := ghostbusters.RunAttack(v, ghostbusters.WithMitigation(cfg, m), params)
+	var detectRep *ghostbusters.DetectReport
+	if detector != nil && err == nil {
+		// Flush the stream tail into the detector and append the
+		// inferred phase/rounds/alarm tracks to the still-open trace.
+		_ = cfg.Tracer.Flush()
+		detectRep = detector.Report()
+		detectRep.EmitTracks(cfg.Tracer)
+	}
 	if cfg.Tracer != nil {
 		// Flush even when the attack errored, so a partial trace of the
 		// failing run survives for inspection.
 		if cerr := cfg.Tracer.Close(); cerr != nil {
 			fmt.Fprintln(os.Stderr, "gbspectre: trace:", cerr)
 		}
-		if cerr := traceFile.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "gbspectre: trace:", cerr)
+		if traceFile != nil {
+			if cerr := traceFile.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "gbspectre: trace:", cerr)
+			}
 		}
 	}
 	fail(err)
@@ -156,6 +190,19 @@ func main() {
 	}
 	fmt.Println("side-channel scoreboard:")
 	fmt.Print(indent(res.Leakage.String()))
+	if detectRep != nil {
+		fmt.Println("online detection:")
+		fmt.Print(indent(detectRep.Format()))
+		if detectRep.Alarm && res.Leakage.FirstSecretFillCycle != 0 {
+			fmt.Printf("  alarm latency: %+d cycles vs the first secret-dependent speculative fill\n",
+				int64(detectRep.AlarmCycle)-int64(res.Leakage.FirstSecretFillCycle))
+		}
+		if *detectJSON != "" {
+			out, err := detectRep.JSON()
+			fail(err)
+			fail(os.WriteFile(*detectJSON, out, 0o644))
+		}
+	}
 	if *audit || *auditJSON != "" {
 		if res.Audit == nil {
 			fail(fmt.Errorf("audit requested but none collected"))
@@ -172,6 +219,9 @@ func main() {
 	if *stats {
 		snap := res.Stats.Snapshot(res.Cycles)
 		res.Leakage.AddMetrics(snap)
+		if detectRep != nil {
+			detectRep.AddMetrics(snap)
+		}
 		if *jsonOut {
 			out, err := json.MarshalIndent(snap, "", "  ")
 			fail(err)

@@ -30,11 +30,13 @@
 package ghostbusters
 
 import (
+	"context"
 	"io"
 
 	"ghostbusters/internal/attack"
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/polybench"
@@ -187,6 +189,57 @@ func NewTextSink(w io.Writer) TraceSink { return obs.NewTextSink(w) }
 
 // NewTraceMultiSink fans events out to several sinks.
 func NewTraceMultiSink(sinks ...TraceSink) TraceSink { return obs.NewMultiSink(sinks...) }
+
+// NewTraceTee fans one event stream out to a primary sink plus pure
+// observers: observer errors are swallowed so a broken observer (or a
+// detector) can never poison the primary trace. Use it to attach a
+// Detector next to a trace file over the same stream.
+func NewTraceTee(primary TraceSink, observers ...TraceSink) TraceSink {
+	return obs.NewTee(primary, observers...)
+}
+
+// DetectConfig tunes the streaming attack-phase detector. The zero
+// value selects the documented defaults.
+type DetectConfig = detect.Config
+
+// Detector is the online attack-phase detector: a TraceSink that
+// consumes the live event stream and classifies simulated-cycle
+// windows into benign / prime / trigger / probe, raising an alarm once
+// enough prime→trigger rounds have alternated over enough distinct
+// cache lines. Attach it as Config.Tracer's sink (or as a NewTraceTee
+// observer next to a trace file); read the verdict with Report after
+// the run.
+type Detector = detect.Detector
+
+// NewDetector builds a detector (zero cfg = defaults).
+func NewDetector(cfg DetectConfig) *Detector { return detect.New(cfg) }
+
+// DetectReport is the detector's typed verdict for one run (schema
+// DetectReportSchema): alarm, confidence, evidence counters, and the
+// inferred phase timeline on the simulated-cycle axis.
+type DetectReport = detect.Report
+
+// DetectReportSchema identifies the detection verdict JSON format.
+const DetectReportSchema = detect.ReportSchema
+
+// DetectEvalConfig parameterizes a detector accuracy evaluation: the
+// benign corpus (polybench) and the Spectre PoCs under every
+// mitigation mode, fanned out over the parallel harness.
+type DetectEvalConfig = detect.EvalConfig
+
+// DetectEvalDoc is the scored evaluation matrix (schema
+// DetectEvalSchema): per-cell verdicts against ground-truth leakage
+// labels, with precision/recall/FPR in the summary.
+type DetectEvalDoc = detect.EvalDoc
+
+// DetectEvalSchema identifies the evaluation JSON document format.
+const DetectEvalSchema = detect.EvalSchema
+
+// RunDetectEval scores the detector over the labeled corpus (gbbench
+// -exp detect).
+func RunDetectEval(ctx context.Context, cfg Config, ecfg DetectEvalConfig) (*DetectEvalDoc, error) {
+	return detect.Eval(ctx, cfg, ecfg)
+}
 
 // Snapshot is the flat metrics map with stable names produced from a
 // finished run (Result.Snapshot, gbrun -stats -json, gbbench -perfjson).

@@ -116,23 +116,35 @@ func (p *Params) withDefaults() Params {
 	return out
 }
 
+// Source renders the attack's guest program as assembly text for the
+// given machine configuration (the embedded probe threshold depends on
+// the cache timing). It is what Run assembles internally, exported so
+// callers can ship the identical attack to a remote simulator (e.g. a
+// gbserve run job) or inspect the gadget.
+func Source(v Variant, cfg dbt.Config, params Params) (string, error) {
+	p := params.withDefaults()
+	// A probe latency below this threshold is a cache hit, in both
+	// interpreted and translated execution.
+	thresh := cfg.Cache.HitLatency + cfg.Cache.MissPenalty/2 + cfg.Interp.BaseCPI
+	switch v {
+	case V1:
+		return buildV1Source(&p, thresh), nil
+	case V4:
+		return buildV4Source(&p, thresh), nil
+	default:
+		return "", fmt.Errorf("attack: unknown variant %d", v)
+	}
+}
+
 // Run executes the attack under the given machine configuration and
 // reports how much of the secret leaked. The machine configuration
 // controls the mitigation mode; the guest binary is identical across
 // modes, exactly like the paper's experiment.
 func Run(v Variant, cfg dbt.Config, params Params) (*Result, error) {
 	p := params.withDefaults()
-	// A probe latency below this threshold is a cache hit, in both
-	// interpreted and translated execution.
-	thresh := cfg.Cache.HitLatency + cfg.Cache.MissPenalty/2 + cfg.Interp.BaseCPI
-	var src string
-	switch v {
-	case V1:
-		src = buildV1Source(&p, thresh)
-	case V4:
-		src = buildV4Source(&p, thresh)
-	default:
-		return nil, fmt.Errorf("attack: unknown variant %d", v)
+	src, err := Source(v, cfg, p)
+	if err != nil {
+		return nil, err
 	}
 	prog, err := riscv.Assemble(src)
 	if err != nil {

@@ -46,6 +46,19 @@ type Scoreboard struct {
 	// attacker's timing probes).
 	SpecTouches uint64
 	ArchTouches uint64
+
+	// Per-phase ground-truth timestamps, in simulated cycles (0 =
+	// never happened). firstSecretFill is the first *secret-dependent*
+	// speculative fill — the true trigger instant a detector's alarm
+	// latency is measured against; firstProbeHit is the first
+	// architectural probe load that lands on a line the victim had
+	// already filled speculatively (the attacker's first measurable
+	// signal). The architectural hook carries no cycle, so the
+	// scoreboard reads the machine's live cycle counter.
+	secretSet       [probeSlots]bool
+	machine         *dbt.Machine
+	firstSecretFill uint64
+	firstProbeHit   uint64
 }
 
 // newScoreboard resolves the guest symbols the observer needs. Both
@@ -61,19 +74,24 @@ func newScoreboard(prog *riscv.Program, secret []byte, tr *obs.Tracer) (*Scorebo
 	if !ok {
 		return nil, fmt.Errorf("attack: guest defines no victim symbol")
 	}
-	return &Scoreboard{
+	s := &Scoreboard{
 		secret:   secret,
 		probeLo:  probe,
 		probeHi:  probe + probeStride*probeSlots,
 		victimLo: victim,
 		victimHi: prog.TextBase + uint64(4*len(prog.Text)),
 		tracer:   tr,
-	}, nil
+	}
+	for _, b := range secret {
+		s.secretSet[b] = true
+	}
+	return s, nil
 }
 
 // attach installs the observer on the machine's bus, chaining any hook
 // already present so it keeps observing.
 func (s *Scoreboard) attach(m *dbt.Machine) {
+	s.machine = m
 	b := m.Bus()
 	prevLoad := b.OnLoad
 	b.OnLoad = func(addr uint64) {
@@ -84,7 +102,11 @@ func (s *Scoreboard) attach(m *dbt.Machine) {
 			return
 		}
 		s.ArchTouches++
-		s.archLine[(addr-s.probeLo)/probeStride] = true
+		slot := (addr - s.probeLo) / probeStride
+		s.archLine[slot] = true
+		if s.firstProbeHit == 0 && s.specLine[slot] {
+			s.firstProbeHit = s.machine.Cycles()
+		}
 	}
 	prevSpec := b.OnSpecLoad
 	b.OnSpecLoad = func(pc, addr, cycle uint64) {
@@ -99,6 +121,9 @@ func (s *Scoreboard) attach(m *dbt.Machine) {
 		}
 		s.SpecTouches++
 		slot := (addr - s.probeLo) / probeStride
+		if s.firstSecretFill == 0 && slot < probeSlots && s.secretSet[slot] {
+			s.firstSecretFill = cycle
+		}
 		if s.specLine[slot] {
 			return
 		}
@@ -154,16 +179,26 @@ type Leakage struct {
 	ArchLines   int
 	SpecTouches uint64
 	ArchTouches uint64
-	Verdicts    []ByteVerdict
+	// Per-phase ground-truth timestamps in simulated cycles, 0 when
+	// the phase never happened. FirstSecretFillCycle is the first
+	// secret-dependent speculative fill (the true trigger instant —
+	// detector alarm latency is measured from here);
+	// FirstProbeHitCycle is the first architectural probe load that
+	// hit a speculatively-filled line (the attacker's first signal).
+	FirstSecretFillCycle uint64
+	FirstProbeHitCycle   uint64
+	Verdicts             []ByteVerdict
 }
 
 // finish scores the run: ground truth from the observed speculative
 // fills, accuracy from the attacker's recovered bytes.
 func (s *Scoreboard) finish(recovered []byte) *Leakage {
 	l := &Leakage{
-		SecretBytes: len(s.secret),
-		SpecTouches: s.SpecTouches,
-		ArchTouches: s.ArchTouches,
+		SecretBytes:          len(s.secret),
+		SpecTouches:          s.SpecTouches,
+		ArchTouches:          s.ArchTouches,
+		FirstSecretFillCycle: s.firstSecretFill,
+		FirstProbeHitCycle:   s.firstProbeHit,
 	}
 	for _, t := range s.specLine {
 		if t {
@@ -213,6 +248,8 @@ func (l *Leakage) AddMetrics(s obs.Snapshot) {
 	s["attack.arch_lines"] = uint64(l.ArchLines)
 	s["attack.spec_touches"] = l.SpecTouches
 	s["attack.arch_touches"] = l.ArchTouches
+	s["attack.first_secret_fill_cycle"] = l.FirstSecretFillCycle
+	s["attack.first_probe_hit_cycle"] = l.FirstProbeHitCycle
 }
 
 func (l *Leakage) String() string {
@@ -221,6 +258,13 @@ func (l *Leakage) String() string {
 		l.LeakedBytes, l.SecretBytes, l.BitsLeaked, l.BytesCorrect, 100*l.Accuracy())
 	fmt.Fprintf(&sb, "probe lines: %d speculative (victim), %d architectural; touches: %d spec, %d arch\n",
 		l.SpecLines, l.ArchLines, l.SpecTouches, l.ArchTouches)
+	if l.FirstSecretFillCycle != 0 {
+		fmt.Fprintf(&sb, "timeline: first secret-dependent spec fill @cycle %d", l.FirstSecretFillCycle)
+		if l.FirstProbeHitCycle != 0 {
+			fmt.Fprintf(&sb, ", first probe hit @cycle %d", l.FirstProbeHitCycle)
+		}
+		sb.WriteString("\n")
+	}
 	for _, v := range l.Verdicts {
 		leak := "contained"
 		if v.Leaked {

@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"testing"
+
+	"ghostbusters/internal/attack"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/obs"
+)
+
+// nopSink is the baseline observer: it pays for spec-level event
+// generation and batch delivery but does no work per event, so the
+// delta against the detector sink is exactly the classifier's cost.
+type nopSink struct{}
+
+func (nopSink) WriteEvents([]obs.Event) error { return nil }
+func (nopSink) Close() error                  { return nil }
+
+// benchAttackRun runs the v1 PoC once per iteration with the sink
+// built by mk attached at spec level. Compare the pair below with
+// benchstat: the detector must stay within ~5% of the no-op observer
+// (the budget for "detection on" vs "tracing on"); detection fully off
+// is the nil-tracer case, pinned at 0 allocs/op by the obs tests.
+func benchAttackRun(b *testing.B, mk func() obs.Sink) {
+	params := attack.Params{Secret: []byte{0x11, 0x23, 0x35, 0x47, 0x59, 0x6B, 0x7D, 0x8F}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := dbt.DefaultConfig()
+		tr := obs.New(obs.LevelSpec, mk())
+		cfg.Tracer = tr
+		if _, err := attack.Run(attack.V1, cfg, params); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttackObserved(b *testing.B) {
+	benchAttackRun(b, func() obs.Sink { return nopSink{} })
+}
+
+func BenchmarkAttackDetected(b *testing.B) {
+	benchAttackRun(b, func() obs.Sink { return New(Config{}) })
+}
+
+// BenchmarkDetectorStream isolates the classifier itself: one full v1
+// attack event stream (recorded once) replayed through a fresh
+// detector per iteration, in tracer-sized batches. The per-event cost
+// is ns/op divided by the reported events/op metric.
+func BenchmarkDetectorStream(b *testing.B) {
+	rec := &recordSink{}
+	cfg := dbt.DefaultConfig()
+	tr := obs.New(obs.LevelSpec, rec)
+	cfg.Tracer = tr
+	params := attack.Params{Secret: []byte{0x11, 0x23, 0x35, 0x47, 0x59, 0x6B, 0x7D, 0x8F}}
+	if _, err := attack.Run(attack.V1, cfg, params); err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		b.Fatal(err)
+	}
+	evs := rec.evs
+	if len(evs) == 0 {
+		b.Fatal("recorded no events")
+	}
+
+	const batch = obs.DefaultBufferEvents
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(Config{})
+		for off := 0; off < len(evs); off += batch {
+			end := off + batch
+			if end > len(evs) {
+				end = len(evs)
+			}
+			if err := d.WriteEvents(evs[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !d.Alarmed() {
+			b.Fatal("replayed attack stream did not alarm")
+		}
+	}
+	b.ReportMetric(float64(len(evs)), "events/op")
+}

@@ -1,0 +1,102 @@
+package detect
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"ghostbusters/internal/core/pipeline"
+	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/harness"
+	"ghostbusters/internal/polybench"
+)
+
+// The acceptance gate: across the full corpus — every polybench
+// kernel (benign) and both Spectre variants under every mitigation
+// mode — the detector must catch every truth-leaking run and never
+// alarm on a benign kernel. Run under -race with 8 workers this also
+// pins the per-cell detector isolation contract.
+func TestEvalFullMatrix(t *testing.T) {
+	n := 8
+	if testing.Short() {
+		n = 4
+	}
+	var started, finished atomic.Int64
+	ecfg := EvalConfig{
+		Workers: 8,
+		KernelN: n,
+		OnCell: func(u harness.CellUpdate) {
+			if u.Done {
+				finished.Add(1)
+			} else {
+				started.Add(1)
+			}
+		},
+	}
+	doc, err := Eval(context.Background(), dbt.DefaultConfig(), ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nModes := len(pipeline.Modes())
+	wantCells := (len(polybench.All()) + 2) * nModes
+	if doc.Schema != EvalSchema {
+		t.Errorf("schema = %q, want %q", doc.Schema, EvalSchema)
+	}
+	if len(doc.Cells) != wantCells {
+		t.Errorf("cells = %d, want %d", len(doc.Cells), wantCells)
+	}
+	if got := started.Load(); got != int64(wantCells) {
+		t.Errorf("OnCell starts = %d, want %d", got, wantCells)
+	}
+	if got := finished.Load(); got != int64(wantCells) {
+		t.Errorf("OnCell finishes = %d, want %d", got, wantCells)
+	}
+
+	s := doc.Summary
+	if s.TruthPositives < 2 {
+		t.Fatalf("truth positives = %d, want >= 2 (unsafe v1+v4); corpus broken", s.TruthPositives)
+	}
+	if s.Recall != 1.0 {
+		t.Errorf("recall = %v, want 1.0 — missed leaking runs:\n%s", s.Recall, doc.Table())
+	}
+	if s.BenignAlarms != 0 {
+		t.Errorf("benign alarms = %d, want 0:\n%s", s.BenignAlarms, doc.Table())
+	}
+	for _, c := range doc.Cells {
+		if c.Report == nil || c.Report.Schema != ReportSchema {
+			t.Fatalf("cell %s/%s: missing or mis-schemed report", c.Bench, c.Mode)
+		}
+		if c.Class == "benign" && c.TruthLeak {
+			t.Fatalf("cell %s/%s: benign cell labeled as leaking", c.Bench, c.Mode)
+		}
+	}
+	t.Logf("recall %d/%d, benign %d cells %d alarms, blocked flagged %d/%d, mean latency %+.0f",
+		s.TruePositives, s.TruthPositives, s.BenignCells, s.BenignAlarms,
+		s.BlockedAttackAlarms, s.BlockedAttackCells, s.MeanAlarmLatencyCycles)
+}
+
+// The evaluation document must be byte-identical at any worker count:
+// per-cell detectors see only their own machine's stream, and cell
+// order is deterministic.
+func TestEvalDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full matrix sweeps")
+	}
+	run := func(workers int) []byte {
+		doc, err := Eval(context.Background(), dbt.DefaultConfig(),
+			EvalConfig{Workers: workers, KernelN: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := doc.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	if seq, par := run(1), run(8); !bytes.Equal(seq, par) {
+		t.Error("eval doc differs between 1 and 8 workers")
+	}
+}

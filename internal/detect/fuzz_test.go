@@ -1,0 +1,126 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ghostbusters/internal/obs"
+)
+
+// eventsFromFuzz decodes an arbitrary byte string into a trace-event
+// stream: 11 bytes per event (kind, 4-byte cycle delta — sometimes
+// negative via wrap to exercise the out-of-order clamp — 4-byte
+// address, flush width, flags). The decoder is intentionally
+// permissive: every input is a valid stream.
+func eventsFromFuzz(data []byte) []obs.Event {
+	var evs []obs.Event
+	var cycle uint64
+	counters := []string{obs.CtrCacheHitRate, obs.CtrMCBOccupancy, obs.CtrPinnedLoads}
+	for len(data) >= 11 {
+		kind := obs.EventKind(data[0] % 16)
+		delta := binary.LittleEndian.Uint32(data[1:5])
+		addr := uint64(binary.LittleEndian.Uint32(data[5:9]))
+		width := uint64(data[9])
+		flags := data[10]
+		data = data[11:]
+
+		if flags&1 != 0 && cycle > uint64(delta%4096) {
+			cycle -= uint64(delta % 4096) // out-of-order event
+		} else {
+			cycle += uint64(delta % 100000)
+		}
+		e := obs.Event{Kind: kind, Cycle: cycle, PC: addr, Arg1: addr}
+		switch kind {
+		case obs.EvCacheFlush:
+			e.Arg1 = width
+			e.Arg2 = uint64(flags >> 1 & 1)
+			e.Arg3 = addr
+		case obs.EvCounter:
+			e.Str = counters[int(flags)%len(counters)]
+			e.Arg1 = width
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// FuzzWindowClassifier throws adversarial event streams at the
+// detector: it must never panic, stay within its state caps, produce
+// a well-formed report, and classify independently of how the stream
+// is batched.
+func FuzzWindowClassifier(f *testing.F) {
+	// Seeds: a plausible attack round, an out-of-order burst, a
+	// counter-heavy stream, and junk.
+	attack := make([]byte, 0, 44)
+	for _, row := range [][11]byte{
+		{byte(obs.EvCacheFlush), 10, 0, 0, 0, 0, 0x40, 0, 0, 64, 2},
+		{byte(obs.EvSpecLoad), 50, 0, 0, 0, 0, 0x40, 0, 0, 0, 0},
+		{byte(obs.EvCacheFlush), 10, 0, 0, 0, 0, 0x40, 0, 0, 64, 2},
+		{byte(obs.EvSpecLoad), 50, 0, 0, 0, 0, 0x80, 0, 0, 0, 0},
+	} {
+		attack = append(attack, row[:]...)
+	}
+	f.Add(attack)
+	f.Add([]byte{byte(obs.EvSpecLoad), 0xFF, 0xFF, 0, 0, 1, 2, 3, 4, 9, 1})
+	f.Add(bytes.Repeat([]byte{byte(obs.EvCounter), 1, 0, 0, 0, 5, 0, 0, 0, 42, 2}, 8))
+	f.Add([]byte("arbitrary junk that is not event-shaped at all......"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		evs := eventsFromFuzz(data)
+
+		det := New(Config{})
+		if err := det.WriteEvents(evs); err != nil {
+			t.Fatalf("detector sink failed: %v", err)
+		}
+		rep := det.Report()
+		whole, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("report does not marshal: %v", err)
+		}
+
+		// Well-formedness invariants.
+		if rep.Counters.Windows != rep.BenignWindows+rep.PrimeWindows+rep.TriggerWindows+rep.ProbeWindows {
+			t.Fatalf("window census does not add up: %+v", rep)
+		}
+		if len(rep.Intervals) > rep.Config.MaxIntervals {
+			t.Fatalf("interval cap violated: %d > %d", len(rep.Intervals), rep.Config.MaxIntervals)
+		}
+		var prevTo uint64
+		for _, iv := range rep.Intervals {
+			if iv.FromCycle >= iv.ToCycle {
+				t.Fatalf("empty or inverted interval %+v", iv)
+			}
+			if iv.FromCycle < prevTo {
+				t.Fatalf("overlapping intervals at %+v", iv)
+			}
+			prevTo = iv.ToCycle
+		}
+		if rep.Alarm && (rep.Rounds < rep.Config.MinRounds || rep.Slots < rep.Config.MinSlots) {
+			t.Fatalf("alarm below thresholds: %+v", rep)
+		}
+		if rep.Confidence < 0 || rep.Confidence > 1 {
+			t.Fatalf("confidence %v outside [0,1]", rep.Confidence)
+		}
+
+		// Batch-partition independence: re-run in chunks of 3.
+		det2 := New(Config{})
+		for i := 0; i < len(evs); i += 3 {
+			end := i + 3
+			if end > len(evs) {
+				end = len(evs)
+			}
+			_ = det2.WriteEvents(evs[i:end])
+		}
+		chunked, err := det2.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(whole, chunked) {
+			t.Fatalf("batching changed the verdict:\n%s\n---\n%s", whole, chunked)
+		}
+	})
+}

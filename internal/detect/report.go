@@ -1,0 +1,165 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"ghostbusters/internal/obs"
+)
+
+// ReportSchema identifies the verdict document format. Consumers pin
+// it; the schema only ever grows fields (same contract as the audit
+// and bench docs).
+const ReportSchema = "ghostbusters/detect/v1"
+
+// Report is the detector's typed verdict for one run: the alarm, the
+// evidence behind it, and the inferred phase timeline on the
+// simulated-cycle axis. It marshals deterministically — two runs over
+// the same event stream produce byte-identical JSON.
+type Report struct {
+	Schema string `json:"schema"`
+	Config Config `json:"config"`
+
+	// Alarm is the verdict; AlarmCycle is the simulated cycle of the
+	// transient refill that crossed both thresholds (0 if no alarm).
+	Alarm      bool   `json:"alarm"`
+	AlarmCycle uint64 `json:"alarm_cycle,omitempty"`
+
+	// Confidence in [0, 1]: 0.5 at exactly the alarm thresholds,
+	// saturating at twice them. See confidence().
+	Confidence float64 `json:"confidence"`
+
+	// Rounds counts prime→trigger alternations; Slots counts distinct
+	// cache lines transiently refilled after a flush.
+	Rounds uint64 `json:"rounds"`
+	Slots  uint64 `json:"slots"`
+
+	// Per-phase window census over the whole run.
+	BenignWindows  uint64 `json:"benign_windows"`
+	PrimeWindows   uint64 `json:"prime_windows"`
+	TriggerWindows uint64 `json:"trigger_windows"`
+	ProbeWindows   uint64 `json:"probe_windows"`
+
+	Counters Counters `json:"counters"`
+
+	// Intervals is the phase timeline (maximal same-phase window
+	// runs, benign elided). Truncated is set when the timeline hit
+	// Config.MaxIntervals; the census and counters above still cover
+	// the whole run.
+	Intervals []Interval `json:"intervals"`
+	Truncated bool       `json:"truncated,omitempty"`
+
+	// LastCycle is the final observed event cycle (the timeline's
+	// right edge).
+	LastCycle uint64 `json:"last_cycle"`
+}
+
+// JSON renders the report as stable, indented JSON with a trailing
+// newline (the same framing the audit documents use).
+func (r *Report) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// phaseValue maps an interval's phase name back to its track value.
+var phaseValue = map[string]uint64{
+	phaseNames[PhaseBenign]:  uint64(PhaseBenign),
+	phaseNames[PhasePrime]:   uint64(PhasePrime),
+	phaseNames[PhaseTrigger]: uint64(PhaseTrigger),
+	phaseNames[PhaseProbe]:   uint64(PhaseProbe),
+}
+
+// TrackEvents renders the verdict as obs counter events so the
+// inferred attack timeline overlays the raw counter tracks in a
+// Perfetto trace: a step track of the window phase, the cumulative
+// rounds staircase, and a latched alarm pulse. Emit them through the
+// run's tracer after the run (the detector only knows the timeline
+// once the stream ends).
+func (r *Report) TrackEvents() []obs.Event {
+	var evs []obs.Event
+	step := func(cycle, v uint64) {
+		evs = append(evs, obs.Event{Kind: obs.EvCounter, Cycle: cycle, Arg1: v, Str: obs.CtrDetectPhase})
+	}
+	for i, iv := range r.Intervals {
+		step(iv.FromCycle, phaseValue[iv.Phase])
+		// Step back to benign unless the next interval starts flush
+		// against this one.
+		if i+1 >= len(r.Intervals) || r.Intervals[i+1].FromCycle != iv.ToCycle {
+			step(iv.ToCycle, uint64(PhaseBenign))
+		}
+		evs = append(evs, obs.Event{Kind: obs.EvCounter, Cycle: iv.ToCycle,
+			Arg1: iv.Rounds, Str: obs.CtrDetectRounds})
+	}
+	if r.Alarm {
+		evs = append(evs, obs.Event{Kind: obs.EvCounter, Cycle: r.AlarmCycle,
+			Arg1: 1, Str: obs.CtrDetectAlarm})
+	}
+	return evs
+}
+
+// EmitTracks appends the report's detection tracks to a tracer (a
+// no-op for a nil or disabled tracer).
+func (r *Report) EmitTracks(tr *obs.Tracer) {
+	if !tr.BlockOn() {
+		return
+	}
+	for _, e := range r.TrackEvents() {
+		tr.Emit(e)
+	}
+}
+
+// AddMetrics merges the verdict into a unified metrics snapshot under
+// stable detect.* names (same contract as dbt.Stats.Snapshot and
+// attack.Leakage.AddMetrics: never rename, only add).
+func (r *Report) AddMetrics(s obs.Snapshot) {
+	alarm := uint64(0)
+	if r.Alarm {
+		alarm = 1
+	}
+	s["detect.alarm"] = alarm
+	s["detect.alarm_cycle"] = r.AlarmCycle
+	s["detect.rounds"] = r.Rounds
+	s["detect.slots"] = r.Slots
+	s["detect.windows"] = r.Counters.Windows
+	s["detect.prime_windows"] = r.PrimeWindows
+	s["detect.trigger_windows"] = r.TriggerWindows
+	s["detect.probe_windows"] = r.ProbeWindows
+	s["detect.transient_refills"] = r.Counters.TransientRefills
+	s["detect.flushes"] = r.Counters.Flushes
+}
+
+// Format renders the verdict for humans.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	if r.Alarm {
+		fmt.Fprintf(&sb, "detect: ALARM — prime→trigger rounds %d, transient slots %d, confidence %.2f\n",
+			r.Rounds, r.Slots, r.Confidence)
+		fmt.Fprintf(&sb, "  first alarm @cycle %d\n", r.AlarmCycle)
+	} else if r.Rounds > 0 || r.Slots > 0 {
+		fmt.Fprintf(&sb, "detect: below threshold — rounds %d, slots %d, confidence %.2f\n",
+			r.Rounds, r.Slots, r.Confidence)
+	} else {
+		fmt.Fprintf(&sb, "detect: no attack phases observed\n")
+	}
+	fmt.Fprintf(&sb, "  windows: %d × %d cycles — %s\n",
+		r.Counters.Windows, r.Config.WindowCycles, joinPhases(r))
+	fmt.Fprintf(&sb, "  evidence: flushes %d (%d full, %d lines), spec loads %d, transient refills %d, squashes %d, recoveries %d, side exits %d\n",
+		r.Counters.Flushes, r.Counters.FullFlushes, r.Counters.FlushedLines,
+		r.Counters.SpecLoads, r.Counters.TransientRefills,
+		r.Counters.Squashes, r.Counters.Recoveries, r.Counters.SideExits)
+	if n := len(r.Intervals); n > 0 {
+		trunc := ""
+		if r.Truncated {
+			trunc = " (truncated)"
+		}
+		fmt.Fprintf(&sb, "  timeline%s:\n", trunc)
+		for _, iv := range r.Intervals {
+			fmt.Fprintf(&sb, "    [%12d, %12d) %s\n", iv.FromCycle, iv.ToCycle, iv.Phase)
+		}
+	}
+	return sb.String()
+}

@@ -79,6 +79,30 @@ type Runner struct {
 	// fan-out stays bit-identical to uncached runs. A cache already set
 	// on the base config is left alone.
 	TransCache *tcache.Cache
+
+	// OnCell, when non-nil, is called from the worker goroutines as
+	// each matrix cell starts (Done == false) and finishes (Done ==
+	// true, with the run or error). It must be safe for concurrent
+	// use; the Runner guarantees nothing about ordering across cells,
+	// only start-before-finish within one. Consumers: gbserve's
+	// per-job event stream and detect.Eval's progress reporting.
+	OnCell func(CellUpdate)
+}
+
+// CellUpdate is one progress notification from the matrix fan-out.
+type CellUpdate struct {
+	Bench string
+	Mode  core.Mode
+	// Index is the cell's position in deterministic job order
+	// (bench-major); Total is the matrix size.
+	Index int
+	Total int
+	// Done distinguishes the start notification (false) from the
+	// finish one (true). Run and Err are only set on finish; Run is
+	// nil when the cell failed.
+	Done bool
+	Run  *KernelRun
+	Err  error
 }
 
 // Bench is one benchmark of the experiment matrix: a named job factory
@@ -194,9 +218,21 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 				if ctx.Err() != nil {
 					errs[idx] = fmt.Errorf("harness: %s (%s): skipped: %w",
 						benches[j.bi].Name, modes[j.mi], ctx.Err())
+					if r.OnCell != nil {
+						r.OnCell(CellUpdate{Bench: benches[j.bi].Name, Mode: modes[j.mi],
+							Index: idx, Total: nb * nm, Done: true, Err: errs[idx]})
+					}
 					continue
 				}
+				if r.OnCell != nil {
+					r.OnCell(CellUpdate{Bench: benches[j.bi].Name, Mode: modes[j.mi],
+						Index: idx, Total: nb * nm})
+				}
 				runs[idx], errs[idx] = r.runOne(ctx, base, benches[j.bi], modes[j.mi])
+				if r.OnCell != nil {
+					r.OnCell(CellUpdate{Bench: benches[j.bi].Name, Mode: modes[j.mi],
+						Index: idx, Total: nb * nm, Done: true, Run: runs[idx], Err: errs[idx]})
+				}
 				if errs[idx] != nil && r.FailFast {
 					cancel()
 				}

@@ -31,6 +31,8 @@
 // mutable state.
 package obs
 
+import "sort"
+
 // Level selects how much the tracer records.
 type Level uint8
 
@@ -131,6 +133,17 @@ const (
 	// speculatively filled, sampled by the attack scoreboard at the
 	// leaking load.
 	CtrLeakedBytes = "leaked-bytes"
+	// CtrDetectPhase: the online detector's window classification as a
+	// step track (0 benign, 1 prime, 2 trigger, 3 probe), emitted from
+	// a detect.Report after the run so the inferred attack timeline
+	// overlays the counters it was derived from.
+	CtrDetectPhase = "detect-phase"
+	// CtrDetectRounds: the detector's cumulative prime→trigger round
+	// count at each phase boundary.
+	CtrDetectRounds = "detect-rounds"
+	// CtrDetectAlarm: 1 at the cycle the detector first raised an
+	// attack alarm.
+	CtrDetectAlarm = "detect-alarm"
 )
 
 // NumEventKinds is the number of defined event kinds.
@@ -194,6 +207,21 @@ type Tracer struct {
 	n       int
 	wrapped bool
 	err     error
+
+	// Counter bookkeeping for the end-of-run samples (sink mode only):
+	// every EvCounter that passes through flush records its track's
+	// last value and cycle, and the latest cycle of any event is kept,
+	// so Close can re-emit each active counter once at the final cycle.
+	// Without this, a counter sampled early in a short or interrupted
+	// run renders as a track that stops mid-timeline in Perfetto.
+	counters map[string]counterSample
+	maxCycle uint64
+}
+
+// counterSample is the last observed value of one counter track.
+type counterSample struct {
+	value uint64
+	cycle uint64
 }
 
 // DefaultBufferEvents is the event capacity of New's batch buffer.
@@ -265,6 +293,20 @@ func (t *Tracer) flush() {
 	if t.n == 0 || t.sink == nil {
 		return
 	}
+	// Counter tracking happens here, off the per-event hot path: one
+	// pass over the batch, once per buffer fill.
+	for i := 0; i < t.n; i++ {
+		e := &t.buf[i]
+		if e.Cycle > t.maxCycle {
+			t.maxCycle = e.Cycle
+		}
+		if e.Kind == EvCounter && e.Str != "" {
+			if t.counters == nil {
+				t.counters = make(map[string]counterSample, 8)
+			}
+			t.counters[e.Str] = counterSample{value: e.Arg1, cycle: e.Cycle}
+		}
+	}
 	if err := t.sink.WriteEvents(t.buf[:t.n]); err != nil && t.err == nil {
 		t.err = err
 	}
@@ -281,19 +323,52 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// Close flushes and closes the sink. The tracer must not be used after
-// Close.
+// Close flushes, emits one final sample of every active counter at the
+// run's last observed cycle, and closes the sink. The final samples
+// make counter tracks span the whole timeline even for short or
+// truncated (interrupted, exit-code-4) runs, where a track would
+// otherwise end at its last organic sample and render as a stub in
+// Perfetto. The tracer must not be used after Close.
 func (t *Tracer) Close() error {
 	if t == nil {
 		return nil
 	}
 	t.flush()
+	t.finalCounterSamples()
 	if t.sink != nil {
 		if err := t.sink.Close(); err != nil && t.err == nil {
 			t.err = err
 		}
 	}
 	return t.err
+}
+
+// finalCounterSamples re-emits the last value of each counter track at
+// the latest cycle the trace reached, in sorted track order so output
+// is deterministic. Counters already sampled at the final cycle are
+// not duplicated.
+func (t *Tracer) finalCounterSamples() {
+	if t.sink == nil || len(t.counters) == 0 {
+		return
+	}
+	names := make([]string, 0, len(t.counters))
+	for name, s := range t.counters {
+		if s.cycle < t.maxCycle {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	final := make([]Event, len(names))
+	for i, name := range names {
+		final[i] = Event{Kind: EvCounter, Cycle: t.maxCycle,
+			Arg1: t.counters[name].value, Str: name}
+	}
+	if err := t.sink.WriteEvents(final); err != nil && t.err == nil {
+		t.err = err
+	}
 }
 
 // Events returns the retained events in emission order. Only meaningful

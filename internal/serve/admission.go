@@ -57,6 +57,7 @@ type tenantState struct {
 	cyclesReserved uint64 // allowances of admitted, unfinished jobs
 	memUsed        uint64 // cumulative guest-memory bytes charged
 	rejects        uint64
+	detectAlarms   uint64 // detector alarms across the tenant's finished jobs
 }
 
 // tenant returns (creating on first use) the ledger for a name; caller
@@ -159,6 +160,7 @@ func (s *Server) admit(req JobRequest) (*Job, int, *APIError) {
 		ctx:            ctx,
 		cancel:         cancel,
 		done:           make(chan struct{}),
+		wake:           make(chan struct{}),
 		cycleAllowance: allowance,
 		memCharge:      memCharge,
 		cells:          cells,

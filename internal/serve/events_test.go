@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ghostbusters/internal/attack"
+	"ghostbusters/internal/dbt"
+)
+
+// readEvents drains a job's full NDJSON event stream (the job must be
+// terminal or become terminal while reading).
+func readEvents(t *testing.T, ts *httptest.Server, id string) []JobEvent {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content type %q", ct)
+	}
+	var evs []JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev JobEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON row %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// A sweep job's event stream carries one started and one finished row
+// per matrix cell, densely sequenced, and ends with job_finished.
+func TestJobEventStreamForSweep(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, JobRequest{
+		Tenant: "alice", Kind: KindKernel, Kernel: "gemm", N: 4,
+		Modes: []string{"unsafe", "ghostbusters"},
+	}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone {
+		t.Fatalf("job = %d %+v", resp.StatusCode, st)
+	}
+
+	evs := readEvents(t, ts, st.ID)
+	var started, finished int
+	for i, ev := range evs {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d; stream not dense", i, ev.Seq)
+		}
+		switch ev.Type {
+		case EventCellStarted:
+			started++
+		case EventCellFinished:
+			finished++
+			if ev.Cycles == 0 {
+				t.Errorf("cell_finished without cycles: %+v", ev)
+			}
+		}
+	}
+	if started != 2 || finished != 2 {
+		t.Errorf("cell events = %d started, %d finished, want 2/2:\n%+v", started, finished, evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Type != EventJobFinished || last.State != StateDone {
+		t.Errorf("stream does not end with job_finished done: %+v", last)
+	}
+
+	// The stream replays in full on reconnect.
+	if again := readEvents(t, ts, st.ID); len(again) != len(evs) {
+		t.Errorf("replay returned %d events, want %d", len(again), len(evs))
+	}
+}
+
+// The event stream is live: a reader connected while the job runs
+// sees rows before the job is terminal, and a canceled job still ends
+// the stream with job_finished.
+func TestJobEventStreamLive(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, JobRequest{Tenant: "alice", Kind: KindRun, Program: slowProg}, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	eresp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	sc := bufio.NewScanner(eresp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no live event before cancel: %v", sc.Err())
+	}
+	var first JobEvent
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Type != EventCellStarted {
+		t.Fatalf("first live event = %+v, want cell_started", first)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if _, err := ts.Client().Do(req); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	got := make(chan JobEvent, 8)
+	go func() {
+		for sc.Scan() {
+			var ev JobEvent
+			if json.Unmarshal(sc.Bytes(), &ev) == nil {
+				got <- ev
+			}
+		}
+		close(got)
+	}()
+	for {
+		select {
+		case ev, ok := <-got:
+			if !ok {
+				t.Fatal("stream ended without job_finished")
+			}
+			if ev.Type == EventJobFinished {
+				if ev.State != StateCanceled {
+					t.Fatalf("job_finished state %q, want canceled", ev.State)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for job_finished")
+		}
+	}
+}
+
+// Submitting the paper's Spectre v1 gadget as a run job with detection
+// on must alarm, surface the verdict in the result, stream a
+// detect_alarm event, and bump the tenant's gb_detect_alarms_total;
+// a benign program with detection on must do none of that.
+func TestDetectOverHTTP(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	src, err := attack.Source(attack.V1, dbt.DefaultConfig(), attack.Params{Secret: []byte{0x5A, 0xC3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, st := postJob(t, ts, JobRequest{
+		Tenant: "mallory", Kind: KindRun, Program: src, Mode: "unsafe", Detect: true,
+	}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone {
+		t.Fatalf("attack job = %d %+v", resp.StatusCode, st)
+	}
+	if st.Result.Detect == nil || !st.Result.Detect.Alarm {
+		t.Fatalf("unsafe attack run did not alarm: %+v", st.Result.Detect)
+	}
+	if st.Result.DetectAlarms != 1 {
+		t.Errorf("detect_alarms = %d, want 1", st.Result.DetectAlarms)
+	}
+	if st.Result.Metrics["detect.alarm"] != 1 {
+		t.Errorf("metrics detect.alarm = %d, want 1", st.Result.Metrics["detect.alarm"])
+	}
+	var sawAlarm bool
+	for _, ev := range readEvents(t, ts, st.ID) {
+		if ev.Type == EventDetectAlarm {
+			sawAlarm = true
+			if !ev.Alarm || ev.AlarmCycle == 0 {
+				t.Errorf("malformed detect_alarm event: %+v", ev)
+			}
+		}
+	}
+	if !sawAlarm {
+		t.Error("no detect_alarm event on the stream")
+	}
+
+	// Benign control: same plumbing, no alarm.
+	resp, st = postJob(t, ts, JobRequest{
+		Tenant: "alice", Kind: KindRun, Program: quickProg, Detect: true,
+	}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone {
+		t.Fatalf("benign job = %d %+v", resp.StatusCode, st)
+	}
+	if st.Result.Detect == nil {
+		t.Fatal("benign run with detect has no verdict")
+	}
+	if st.Result.Detect.Alarm || st.Result.DetectAlarms != 0 {
+		t.Fatalf("benign run alarmed: %+v", st.Result.Detect)
+	}
+
+	code, body := getBody(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if !strings.Contains(body, `gb_detect_alarms_total{tenant="mallory"} 1`) {
+		t.Errorf("metrics missing mallory's alarm:\n%s", body)
+	}
+	if !strings.Contains(body, `gb_detect_alarms_total{tenant="alice"} 0`) {
+		t.Errorf("metrics missing alice's zero counter:\n%s", body)
+	}
+}
+
+// A sweep with detection counts alarmed cells: the v1 kernel matrix is
+// benign, so a kernel sweep reports zero even with detection on.
+func TestDetectSweepCountsAlarms(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, JobRequest{
+		Tenant: "alice", Kind: KindKernel, Kernel: "gemm", N: 4,
+		Modes: []string{"unsafe", "ghostbusters"}, Detect: true,
+	}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone {
+		t.Fatalf("job = %d %+v", resp.StatusCode, st)
+	}
+	if st.Result.DetectAlarms != 0 {
+		t.Errorf("benign kernel sweep alarmed %d cells", st.Result.DetectAlarms)
+	}
+	if _, ok := st.Result.Metrics["detect.alarms"]; !ok {
+		t.Error("sweep metrics missing detect.alarms")
+	}
+}

@@ -13,6 +13,7 @@ import (
 //	POST   /v1/jobs             submit (202, or structured 4xx/5xx rejection)
 //	GET    /v1/jobs/{id}        status (?wait=1 blocks until terminal)
 //	GET    /v1/jobs/{id}/output rendered output of a finished job (text/plain)
+//	GET    /v1/jobs/{id}/events live NDJSON progress stream (cells, detector alarms)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness (always 200 while the process serves)
 //	GET    /readyz              admission readiness (503 once draining)
@@ -22,6 +23,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleOutput)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)

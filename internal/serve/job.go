@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ghostbusters/internal/core"
+	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
 	"ghostbusters/internal/obs"
 )
@@ -102,6 +103,14 @@ type JobRequest struct {
 	// backoff, per the server policy).
 	Inject  *InjectSpec `json:"inject,omitempty"`
 	Retries int         `json:"retries,omitempty"`
+
+	// Detect attaches the online attack-phase detector to every cell:
+	// run jobs return the full verdict in result.detect, sweep jobs
+	// count alarmed cells in result.detect_alarms, and every alarm is
+	// a detect_alarm row on the job's event stream. Guest-visible
+	// behaviour (cycles, results) is unchanged; detection rides the
+	// observability plane.
+	Detect bool `json:"detect,omitempty"`
 }
 
 // JobResult is the success payload.
@@ -119,6 +128,13 @@ type JobResult struct {
 	// Metrics is the run's stable-name snapshot (summed across cells
 	// for sweeps).
 	Metrics obs.Snapshot `json:"metrics,omitempty"`
+
+	// Detect is the run job's full detector verdict; DetectAlarms
+	// counts cells whose detector fired (1 at most for run jobs, up
+	// to Cells for sweeps). Both only present when the request asked
+	// for detection.
+	Detect       *detect.Report `json:"detect,omitempty"`
+	DetectAlarms int            `json:"detect_alarms,omitempty"`
 }
 
 // JobStatus is the wire view of a job.
@@ -152,6 +168,12 @@ type Job struct {
 	state  string
 	result *JobResult
 	apiErr *APIError
+
+	// events is the append-only progress buffer handleEvents streams;
+	// wake is closed and replaced on every append (broadcast). Both
+	// are guarded by the server mutex.
+	events []JobEvent
+	wake   chan struct{}
 }
 
 // Status renders the wire view (caller holds the server mutex or owns

@@ -93,6 +93,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "gbserve_tenant_cycles_reserved{tenant=%q} %d\n", name, t.cyclesReserved)
 		fmt.Fprintf(&b, "gbserve_tenant_mem_used_bytes{tenant=%q} %d\n", name, t.memUsed)
 		fmt.Fprintf(&b, "gbserve_tenant_rejects_total{tenant=%q} %d\n", name, t.rejects)
+		fmt.Fprintf(&b, "gb_detect_alarms_total{tenant=%q} %d\n", name, t.detectAlarms)
 	}
 	s.mu.Unlock()
 

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/polybench"
@@ -74,7 +76,13 @@ func (s *Server) finish(j *Job, spent uint64, res *JobResult, aerr *APIError) {
 		t.cyclesReserved -= j.cycleAllowance
 		t.cyclesUsed += spent
 	}
+	if res != nil {
+		t.detectAlarms += uint64(res.DetectAlarms)
+	}
 	s.metrics.complete(j.state)
+	// The terminal event lands under the same lock that sets the
+	// terminal state, so a drained event stream is a complete one.
+	s.appendEventLocked(j, JobEvent{Type: EventJobFinished, State: j.state})
 	state := j.state
 	s.mu.Unlock()
 	j.cancel() // release the job context's resources on every path
@@ -147,6 +155,7 @@ func (s *Server) executeRun(ctx context.Context, j *Job, cfg dbt.Config) (*JobRe
 	bo := harness.Backoff{Base: s.cfg.Backoff, Max: s.cfg.BackoffMax, Seed: s.cfg.BackoffSeed}
 	retries := s.retryBudget(j)
 
+	s.appendEvent(j, JobEvent{Type: EventCellStarted, Bench: "program", Mode: j.modes[0].String(), Total: 1})
 	var total uint64
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -167,15 +176,38 @@ func (s *Server) executeRun(ctx context.Context, j *Job, cfg dbt.Config) (*JobRe
 		}
 		cfg.FaultInject = injectFor(j.Req.Inject, attempt)
 
+		// Detection is per attempt: each retry gets a fresh detector,
+		// so the verdict describes exactly the run that succeeded.
+		var det *detect.Detector
+		cfg.Tracer = nil
+		if j.Req.Detect {
+			det = detect.New(detect.Config{})
+			cfg.Tracer = obs.New(obs.LevelSpec, det)
+		}
 		res, cycles, runErr := runGuest(cfg, prog)
+		_ = cfg.Tracer.Close() // flush the stream's tail into the detector
 		total += cycles
 		if runErr == nil {
-			return &JobResult{
+			out := &JobResult{
 				ExitCode: int(res.Exit.Code),
 				Cycles:   res.Cycles,
 				Instret:  res.Instret,
 				Metrics:  res.Snapshot(),
-			}, total, nil
+			}
+			if det != nil {
+				rep := det.Report()
+				out.Detect = rep
+				rep.AddMetrics(out.Metrics)
+				if rep.Alarm {
+					out.DetectAlarms = 1
+					s.appendEvent(j, JobEvent{Type: EventDetectAlarm, Bench: "program",
+						Mode: j.modes[0].String(), Alarm: true,
+						Confidence: rep.Confidence, AlarmCycle: rep.AlarmCycle})
+				}
+			}
+			s.appendEvent(j, JobEvent{Type: EventCellFinished, Bench: "program",
+				Mode: j.modes[0].String(), Total: 1, Cycles: res.Cycles})
+			return out, total, nil
 		}
 		if f := trap.As(runErr); f != nil {
 			if f.Transient() && attempt < retries && ctx.Err() == nil {
@@ -234,6 +266,12 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, cfg dbt.Config) (*Job
 	}
 	cfg.FaultInject = injectFor(j.Req.Inject, 0)
 
+	var alarms atomic.Int64
+	if j.Req.Detect {
+		for i := range benches {
+			benches[i] = s.detectBench(j, benches[i], &alarms)
+		}
+	}
 	runner := &harness.Runner{
 		Workers:     s.cfg.JobParallelism,
 		Artifacts:   s.arts,
@@ -242,6 +280,20 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, cfg dbt.Config) (*Job
 		BackoffMax:  s.cfg.BackoffMax,
 		BackoffSeed: s.cfg.BackoffSeed,
 		TransCache:  s.cfg.TransCache,
+		OnCell: func(u harness.CellUpdate) {
+			ev := JobEvent{Type: EventCellStarted, Bench: u.Bench, Mode: u.Mode.String(),
+				Index: u.Index, Total: u.Total}
+			if u.Done {
+				ev.Type = EventCellFinished
+				if u.Run != nil {
+					ev.Cycles = u.Run.Cycles
+				}
+				if u.Err != nil {
+					ev.Error = u.Err.Error()
+				}
+			}
+			s.appendEvent(j, ev)
+		},
 	}
 	rows, err := runner.RunMatrix(ctx, cfg, benches, j.modes)
 	spent := sweepCycles(rows, j.modes)
@@ -267,7 +319,40 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, cfg dbt.Config) (*Job
 			}
 		}
 	}
+	if j.Req.Detect {
+		res.DetectAlarms = int(alarms.Load())
+		res.Metrics["detect.alarms"] = uint64(res.DetectAlarms)
+	}
 	return res, spent, nil
+}
+
+// detectBench wraps one sweep bench so each of its cells runs with a
+// private online detector teed into the machine's event stream. An
+// alarm increments the job's count and lands on the event stream; the
+// cell's guest-visible results are untouched (the tracer rides the
+// observability plane — cycle counts are pinned identical by the
+// harness differential tests).
+func (s *Server) detectBench(j *Job, b harness.Bench, alarms *atomic.Int64) harness.Bench {
+	inner := b.Run
+	return harness.Bench{
+		Name: b.Name,
+		Run: func(ctx context.Context, cfg dbt.Config, arts *harness.Artifacts) (*harness.KernelRun, error) {
+			det := detect.New(detect.Config{})
+			cfg.Tracer = obs.New(obs.LevelSpec, det)
+			run, err := inner(ctx, cfg, arts)
+			_ = cfg.Tracer.Close()
+			if err != nil {
+				return nil, err
+			}
+			if rep := det.Report(); rep.Alarm {
+				alarms.Add(1)
+				s.appendEvent(j, JobEvent{Type: EventDetectAlarm, Bench: b.Name,
+					Mode: cfg.Mitigation.String(), Alarm: true,
+					Confidence: rep.Confidence, AlarmCycle: rep.AlarmCycle})
+			}
+			return run, nil
+		},
+	}
 }
 
 // sweepCycles totals the simulated cycles of every completed cell —

@@ -47,6 +47,13 @@
 // -retry-backoff, capped at -retry-backoff-max, with deterministic
 // jitter seeded by -retry-seed. All injection is off by default.
 //
+// -spans writes the sweep's host-side span timeline as
+// ghostbusters/span/v1 JSONL: the matrix root, one cell span per
+// (benchmark, mode) with its retries, backoff sleeps and
+// translate/execute split — host wall-clock nanoseconds, riding the
+// observability plane, so stdout (and -checkperf) stay byte-identical
+// with spans on or off.
+//
 // Exit codes: 1 for host/benchmark errors, 2 for usage errors, 3 when
 // the matrix died on a guest trap (the trap kind, guest PC and cycle
 // are printed to stderr), 4 when SIGINT/SIGTERM interrupted the sweep —
@@ -75,6 +82,7 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/polybench"
 	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/trap"
@@ -113,6 +121,7 @@ func main() {
 	modesFlag := flag.String("modes", "fig4", `modes to sweep (fig4/ptrmm/kernel): "fig4" (the paper's four), "all" (every registered mitigation), or a comma-separated list of mode names`)
 	useTCache := flag.Bool("tcache", false, "persist translated code across runs (default cache dir)")
 	tcacheDir := flag.String("tcache-dir", "", "translation cache directory (implies -tcache)")
+	spansOut := flag.String("spans", "", "write the host-side span timeline of the sweep (JSONL, schema ghostbusters/span/v1) to this file")
 	flag.Parse()
 
 	modes, err := parseModes(*modesFlag)
@@ -189,6 +198,13 @@ func main() {
 		}()
 	}
 
+	// The host-side span layer captures the sweep's timeline: one
+	// "matrix" root with a per-cell tree underneath (queue, backoff,
+	// attempts, translate/execute splits). Spans ride the observability
+	// plane — stdout stays byte-identical with them on or off.
+	root := startSpans(*spansOut, *exp)
+	defer closeSpans()
+
 	runner := &harness.Runner{
 		Workers:        *jobs,
 		Timeout:        *timeout,
@@ -199,6 +215,7 @@ func main() {
 		BackoffSeed:    *retrySeed,
 		TolerateFaults: *tolerateFaults,
 		TransCache:     transCache,
+		Span:           root,
 	}
 	// SIGINT/SIGTERM cancel the sweep: every in-flight machine is
 	// stopped through its interrupt hook, the harness returns the cells
@@ -235,6 +252,7 @@ func main() {
 			return
 		}
 		flushProfiles()
+		closeSpans()
 		cells := 0
 		for _, r := range rows {
 			cells += len(r.Cycles)
@@ -317,6 +335,7 @@ func main() {
 		})
 		if ctx.Err() != nil || errors.Is(err, dbt.ErrInterrupted) {
 			flushProfiles()
+			closeSpans()
 			fmt.Fprintln(os.Stderr, "gbbench: interrupted:", err)
 			os.Exit(exitInterrupted)
 		}
@@ -346,6 +365,47 @@ func main() {
 	default:
 		usageError("gbbench: unknown experiment %q", *exp)
 	}
+}
+
+// The span layer's state, closed exactly once on every exit path
+// (os.Exit skips defers, so fail and the interrupt paths close
+// explicitly, like the profiles).
+var (
+	spanTracer *hspan.Tracer
+	spanRoot   hspan.Span
+	spanFile   *os.File
+)
+
+// startSpans opens the sweep's span timeline when -spans is set. The
+// returned root is the zero Span otherwise — the runner's span hooks
+// stay wired at zero cost.
+func startSpans(path, exp string) hspan.Span {
+	if path == "" {
+		return hspan.Span{}
+	}
+	f, err := os.Create(path)
+	fail(err)
+	spanFile = f
+	spanTracer = hspan.New(hspan.NewJSONLSink(f))
+	spanRoot = spanTracer.Start("matrix", hspan.Str("exp", exp))
+	return spanRoot
+}
+
+// closeSpans ends the root span and flushes the JSONL stream; safe to
+// call on every exit path, at most once effective.
+func closeSpans() {
+	if spanTracer == nil {
+		return
+	}
+	spanRoot.End()
+	if err := spanTracer.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "gbbench: spans:", err)
+	}
+	spanTracer = nil
+	if err := spanFile.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "gbbench: spans:", err)
+	}
+	spanFile = nil
 }
 
 // rowSlice lifts a possibly-nil single row into the slice shape the
@@ -397,6 +457,7 @@ func fail(err error) {
 		return
 	}
 	flushProfiles()
+	closeSpans()
 	fmt.Fprintln(os.Stderr, "gbbench:", err)
 	if f := trap.As(err); f != nil {
 		fmt.Fprintf(os.Stderr, "gbbench: guest trap: kind=%s pc=%#x addr=%#x cycle=%d\n",

@@ -5,7 +5,7 @@
 //	      [-interp] [-stats] [-json] [-trace] [-traceout file]
 //	      [-trace-format text|jsonl|perfetto] [-profile]
 //	      [-audit] [-audit-json file]
-//	      [-detect] [-detect-json file]
+//	      [-detect] [-detect-json file] [-spans file]
 //	      [-tcache] [-tcache-dir dir] program.s
 //
 // The exit status is the guest's exit code when the guest runs to
@@ -45,6 +45,14 @@
 // rides the same stream as the trace file behind a tee, and the
 // inferred phase/rounds/alarm tracks are appended to the trace so a
 // Perfetto timeline shows the detection overlaid on the raw counters.
+//
+// -spans writes the host-side span timeline (assemble, load, run with
+// its translate/execute split) as ghostbusters/span/v1 JSONL — host
+// wall-clock nanoseconds, a second clock domain next to the simulated
+// cycles. With `-traceout file -trace-format perfetto` the spans are
+// also mirrored into the same Perfetto document as a separate process
+// track, so one ui.perfetto.dev load shows the guest-cycle and host-ns
+// timelines together.
 //
 // -tcache persists translated regions across runs (in the user cache
 // dir, or under -tcache-dir): a warm run of the same program and
@@ -98,6 +106,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	useTCache := flag.Bool("tcache", false, "persist translated code across runs (default cache dir)")
 	tcacheDir := flag.String("tcache-dir", "", "translation cache directory (implies -tcache)")
+	spansOut := flag.String("spans", "", "write the host-side span timeline (JSONL, schema ghostbusters/span/v1) to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -129,6 +138,7 @@ func main() {
 		detector = ghostbusters.NewDetector(ghostbusters.DetectConfig{})
 	}
 	cfg.Tracer = buildTracer(*trace, *traceOut, *traceFormat, detector)
+	root := buildSpans(*spansOut)
 	transCache := buildTransCache(*useTCache, *tcacheDir)
 	cfg.TransCache = transCache
 
@@ -140,12 +150,18 @@ func main() {
 	defer stop()
 	cfg.Interrupt = ctx.Done()
 
+	as := root.Child("assemble", ghostbusters.SpanStr("file", flag.Arg(0)))
 	prog, err := ghostbusters.Assemble(string(src))
+	as.End()
 	fail(err)
 	machine, err := ghostbusters.NewMachine(cfg)
 	fail(err)
+	ls := root.Child("load")
 	fail(machine.Load(prog))
+	ls.End()
+	rs := root.Child("run", ghostbusters.SpanStr("mode", *mode))
 	res, err := machine.Run()
+	endRunSpan(rs, machine)
 	if err != nil {
 		shutdown()
 		if errors.Is(err, ghostbusters.ErrInterrupted) {
@@ -276,7 +292,51 @@ func printProfile(machine *ghostbusters.Machine, total uint64) {
 var (
 	tracer    *ghostbusters.Tracer
 	traceFile *os.File
+	// traceFileSink is the -traceout sink, kept so -spans can mirror the
+	// host timeline into the same Perfetto document.
+	traceFileSink ghostbusters.TraceSink
+
+	spanTracer *ghostbusters.SpanTracer
+	spanRoot   ghostbusters.Span
+	spanFile   *os.File
 )
+
+// buildSpans wires the host-side span layer: a JSONL file sink, plus a
+// mirror into the -traceout Perfetto document when one is open — one
+// file, two clock domains. Returns the root span of the run (the zero
+// Span when -spans is unset: every hook stays wired at zero cost).
+func buildSpans(path string) ghostbusters.Span {
+	if path == "" {
+		return ghostbusters.Span{}
+	}
+	f, err := os.Create(path)
+	fail(err)
+	spanFile = f
+	var sinks []ghostbusters.SpanSink
+	sinks = append(sinks, ghostbusters.NewSpanJSONLSink(f))
+	if pf, ok := ghostbusters.NewSpanPerfettoSink(traceFileSink); ok {
+		sinks = append(sinks, pf)
+	}
+	spanTracer = ghostbusters.NewSpanTracer(ghostbusters.NewSpanMultiSink(sinks...))
+	spanRoot = spanTracer.Start("gbrun")
+	return spanRoot
+}
+
+// endRunSpan closes the run span, attributing its host time to
+// consecutive translate and execute intervals from the machine's
+// accumulated translation latency (translation actually interleaves
+// with execution; the split shows attributed durations).
+func endRunSpan(rs ghostbusters.Span, m *ghostbusters.Machine) {
+	if !rs.Enabled() {
+		return
+	}
+	if transNS := m.TranslateHostNS(); transNS > 0 {
+		start := rs.StartNS()
+		rs.Emit("translate", start, start+transNS, ghostbusters.SpanInt("ns", transNS))
+		rs.Emit("execute", start+transNS, rs.Tracer().Now(), ghostbusters.SpanInt("cycles", int64(m.Cycles())))
+	}
+	rs.End(ghostbusters.SpanInt("cycles", int64(m.Cycles())))
+}
 
 // buildTracer wires the requested sinks. -trace alone records at block
 // granularity (the classic stderr log); -traceout records everything
@@ -296,6 +356,7 @@ func buildTracer(stderrLog bool, path, format string, det *ghostbusters.Detector
 		traceFile = f
 		sink, err := ghostbusters.TraceSinkFor(format, f)
 		fail(err)
+		traceFileSink = sink
 		sinks = append(sinks, sink)
 		level = ghostbusters.TraceSpec
 	}
@@ -329,9 +390,24 @@ func fail(err error) {
 }
 
 // shutdown flushes every buffered output exactly once: pprof profiles,
-// the trace sink chain, and the trace file itself.
+// the span layer (before the cycle tracer — its Perfetto mirror writes
+// into the document the tracer terminates), the trace sink chain, and
+// the files themselves.
 func shutdown() {
 	flushProfiles()
+	if spanTracer != nil {
+		spanRoot.End()
+		if err := spanTracer.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gbrun: spans:", err)
+		}
+		spanTracer = nil
+	}
+	if spanFile != nil {
+		if err := spanFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gbrun: spans:", err)
+		}
+		spanFile = nil
+	}
 	if tracer != nil {
 		if err := tracer.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "gbrun: trace:", err)

@@ -8,6 +8,7 @@
 //	        [-tenant name=inflight:cycles:mem ...]
 //	        [-retries N] [-retry-backoff d] [-retry-backoff-max d]
 //	        [-retry-seed N] [-tcache] [-tcache-dir dir] [-width 2|4|8]
+//	        [-spans file] [-pprof 127.0.0.1:6060]
 //
 // API (see internal/serve):
 //
@@ -17,6 +18,8 @@
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/output rendered output (byte-identical to the
 //	                            gbbench/gbrun stdout for the same work)
+//	GET    /v1/jobs/{id}/events live NDJSON progress stream
+//	GET    /v1/jobs/{id}/trace  the job's host-span tree (span/v1 NDJSON)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz /readyz /metrics
 //
@@ -30,6 +33,17 @@
 // machine's interrupt hook, so guest memory is released), and the
 // process exits 0 once the fleet is idle. A second signal kills the
 // process immediately.
+//
+// -spans streams every job's host-side span tree (admission, queue
+// wait, attempts with translate/execute splits, the final drain) to a
+// ghostbusters/span/v1 JSONL file. Latency histograms (queue wait, job
+// wall time, per-cell host time) are always collected and exposed on
+// /metrics in Prometheus histogram exposition, spans file or not.
+//
+// -pprof serves net/http/pprof on a second, loopback-only listener.
+// The profiling surface is never mounted on the public API mux, and
+// gbserve refuses to start if the address does not resolve to a
+// loopback interface.
 //
 // All logging goes to stderr; stdout is never written (ops can pipe it
 // safely).
@@ -51,7 +65,10 @@ import (
 	"syscall"
 	"time"
 
+	httppprof "net/http/pprof"
+
 	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/serve"
 	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/vliw"
@@ -74,6 +91,8 @@ func main() {
 	useTCache := flag.Bool("tcache", false, "share a persistent translation cache across jobs and tenants (default cache dir)")
 	tcacheDir := flag.String("tcache-dir", "", "translation cache directory (implies -tcache)")
 	width := flag.Int("width", 4, "VLIW issue width: 2, 4 or 8")
+	spansOut := flag.String("spans", "", "write the fleet's host-side span timeline (JSONL, schema ghostbusters/span/v1) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); never mounted on the public API")
 
 	tenants := map[string]serve.Quota{}
 	flag.Func("tenant", "per-tenant quota `name=inflight:cycles:mem` (repeatable; 0 = unlimited, inflight -1 = unlimited)", func(v string) error {
@@ -119,6 +138,47 @@ func main() {
 		logger.Printf("gbserve: translation cache at %s (shared across tenants)", dir)
 	}
 
+	// The fleet's host-side span timeline: admission decisions, queue
+	// waits, attempts and drain, one job tree per admitted job. The
+	// tracer is concurrency-safe; the file closes after the drain so the
+	// drain span itself is captured.
+	var spanTracer *hspan.Tracer
+	var spanFile *os.File
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err != nil {
+			logger.Fatalf("gbserve: %v", err)
+		}
+		spanFile = f
+		spanTracer = hspan.New(hspan.NewJSONLSink(f))
+		logger.Printf("gbserve: span timeline to %s", *spansOut)
+	}
+
+	// pprof lives on its own loopback-only listener: the profiling
+	// surface (heap contents, CPU samples, symbol tables) must never be
+	// reachable through the public API address.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			logger.Fatalf("gbserve: pprof: %v", err)
+		}
+		if tcpAddr, ok := pln.Addr().(*net.TCPAddr); !ok || !tcpAddr.IP.IsLoopback() {
+			logger.Fatalf("gbserve: pprof: %s is not a loopback address; refusing to expose profiles", pln.Addr())
+		}
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", httppprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go func() {
+			if err := http.Serve(pln, pprofMux); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("gbserve: pprof: %v", err)
+			}
+		}()
+		logger.Printf("gbserve: pprof on http://%s/debug/pprof/ (loopback only)", pln.Addr())
+	}
+
 	s, err := serve.New(serve.Config{
 		Base:           &base,
 		Workers:        *workers,
@@ -137,6 +197,7 @@ func main() {
 		BackoffMax:   *retryBackoffMax,
 		BackoffSeed:  *retrySeed,
 		TransCache:   transCache,
+		Spans:        spanTracer,
 		Log:          logger,
 	})
 	if err != nil {
@@ -176,6 +237,14 @@ func main() {
 	if transCache != nil {
 		if err := transCache.Err(); err != nil {
 			logger.Printf("gbserve: warning: %v", err)
+		}
+	}
+	if spanTracer != nil {
+		if err := spanTracer.Close(); err != nil {
+			logger.Printf("gbserve: spans: %v", err)
+		}
+		if err := spanFile.Close(); err != nil {
+			logger.Printf("gbserve: spans: %v", err)
 		}
 	}
 	logger.Printf("gbserve: bye")

@@ -5,7 +5,7 @@
 //	          [-secret hexbytes] [-protect] [-lineflush]
 //	          [-traceout file] [-trace-format text|jsonl|perfetto]
 //	          [-stats] [-json] [-audit] [-audit-json file]
-//	          [-detect] [-detect-json file]
+//	          [-detect] [-detect-json file] [-spans file]
 //	          [-matrix-json file]
 //
 // With no flags it runs both variants under every registered mitigation
@@ -39,6 +39,13 @@
 // ghostbusters/detect/v1); either flag enables detection, and both
 // compose with -traceout (the detection tracks are appended to the
 // trace).
+//
+// -spans writes the attack's host-side span timeline as
+// ghostbusters/span/v1 JSONL (host wall-clock nanoseconds). With
+// `-traceout file -trace-format perfetto` the spans are also mirrored
+// into the same Perfetto document on a second clock domain, so one
+// file shows the attack's simulated-cycle events and its host-time
+// cost side by side.
 package main
 
 import (
@@ -67,6 +74,7 @@ func main() {
 	detectFlag := flag.Bool("detect", false, "run the online attack-phase detector against the attack and print its verdict")
 	detectJSON := flag.String("detect-json", "", "write the detection verdict as JSON (schema ghostbusters/detect/v1) to this file")
 	matrixJSON := flag.String("matrix-json", "", "matrix mode: write the leakage matrix as JSON (schema ghostbusters/leakmatrix/v1) to this file")
+	spansOut := flag.String("spans", "", "write the host-side span timeline (JSONL, schema ghostbusters/span/v1) to this file")
 	flag.Parse()
 
 	cfg := ghostbusters.DefaultConfig()
@@ -80,7 +88,7 @@ func main() {
 		singleRunOnly := map[string]bool{
 			"audit": true, "audit-json": true, "detect": true,
 			"detect-json": true, "json": true, "lineflush": true,
-			"mode": true, "protect": true, "secret": true,
+			"mode": true, "protect": true, "secret": true, "spans": true,
 			"stats": true, "trace-format": true, "traceout": true,
 		}
 		var offending []string
@@ -155,7 +163,33 @@ func main() {
 	}
 	cfg.Audit = *audit || *auditJSON != ""
 
+	// The host-side span layer: a JSONL file, plus a mirror into the
+	// -traceout Perfetto document when one is open, so the attack's
+	// guest-cycle events and the host-ns timeline land in one file.
+	var spanTracer *ghostbusters.SpanTracer
+	var spanFile *os.File
+	var root ghostbusters.Span
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		fail(err)
+		spanFile = f
+		sinks := []ghostbusters.SpanSink{ghostbusters.NewSpanJSONLSink(f)}
+		if pf, ok := ghostbusters.NewSpanPerfettoSink(fileSink); ok {
+			sinks = append(sinks, pf)
+		}
+		spanTracer = ghostbusters.NewSpanTracer(ghostbusters.NewSpanMultiSink(sinks...))
+		root = spanTracer.Start("gbspectre",
+			ghostbusters.SpanStr("variant", *variant), ghostbusters.SpanStr("mode", *mode))
+	}
+
+	as := root.Child("attack")
 	res, err := ghostbusters.RunAttack(v, ghostbusters.WithMitigation(cfg, m), params)
+	if err == nil {
+		as.End(ghostbusters.SpanInt("cycles", int64(res.Cycles)),
+			ghostbusters.SpanInt("bytes_leaked", int64(res.BytesCorrect)))
+	} else {
+		as.End(ghostbusters.SpanStr("outcome", "error"))
+	}
 	var detectRep *ghostbusters.DetectReport
 	if detector != nil && err == nil {
 		// Flush the stream tail into the detector and append the
@@ -163,6 +197,17 @@ func main() {
 		_ = cfg.Tracer.Flush()
 		detectRep = detector.Report()
 		detectRep.EmitTracks(cfg.Tracer)
+	}
+	// Close the span layer before the cycle tracer: its Perfetto mirror
+	// writes into the document the tracer's Close terminates.
+	if spanTracer != nil {
+		root.End()
+		if cerr := spanTracer.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gbspectre: spans:", cerr)
+		}
+		if cerr := spanFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gbspectre: spans:", cerr)
+		}
 	}
 	if cfg.Tracer != nil {
 		// Flush even when the attack errored, so a partial trace of the

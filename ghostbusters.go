@@ -38,6 +38,7 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/polybench"
 	"ghostbusters/internal/riscv"
@@ -372,3 +373,64 @@ func RunLeakageMatrix(cfg Config) (string, *LeakMatrix, error) {
 	}
 	return table, attack.BuildLeakMatrix(entries), nil
 }
+
+// SpanTracer is the host-side span tracing layer: host-wall-clock spans
+// (job phases, matrix cells, translate/execute splits) on a second
+// clock domain next to the simulated-cycle trace events. A nil
+// SpanTracer — and every Span derived from one — is fully inert and
+// allocation-free, so span hooks can stay wired unconditionally.
+// Unlike the cycle Tracer, a SpanTracer is safe for concurrent use.
+type SpanTracer = hspan.Tracer
+
+// Span is one in-flight host-time span (a value; copy freely). The
+// zero Span is disabled.
+type Span = hspan.Span
+
+// SpanAttr is one typed span attribute (string or int64).
+type SpanAttr = hspan.Attr
+
+// SpanRecord is one finished span as parsed back from a span stream.
+type SpanRecord = hspan.Record
+
+// SpanSink consumes finished span records (JSONL file, Perfetto doc).
+type SpanSink = hspan.Sink
+
+// SpanSchema identifies the span JSONL stream format.
+const SpanSchema = hspan.Schema
+
+// NewSpanTracer builds a span tracer over a sink (nil sink: spans are
+// timed and observable but not persisted).
+func NewSpanTracer(sink SpanSink) *SpanTracer { return hspan.New(sink) }
+
+// SpanStr and SpanInt build typed span attributes.
+func SpanStr(key, val string) SpanAttr       { return hspan.Str(key, val) }
+func SpanInt(key string, val int64) SpanAttr { return hspan.Int(key, val) }
+
+// NewSpanJSONLSink writes the ghostbusters/span/v1 JSONL stream.
+func NewSpanJSONLSink(w io.Writer) SpanSink { return hspan.NewJSONLSink(w) }
+
+// NewSpanMultiSink fans span records out to several sinks.
+func NewSpanMultiSink(sinks ...SpanSink) SpanSink { return hspan.NewMultiSink(sinks...) }
+
+// NewSpanPerfettoSink adapts a Perfetto trace sink (TraceSinkFor
+// "perfetto") so host-time spans land in the same Perfetto document as
+// the simulated-cycle events — one file, two clock domains, rendered
+// as separate process tracks. Returns false when doc is not a Perfetto
+// sink. The adapter never terminates the document: close the span
+// tracer first, then the cycle tracer that owns doc.
+func NewSpanPerfettoSink(doc TraceSink) (SpanSink, bool) {
+	p, ok := doc.(*obs.PerfettoSink)
+	if !ok {
+		return nil, false
+	}
+	return hspan.NewPerfettoSink(p), true
+}
+
+// ParseSpanJSONL reads a span/v1 JSONL stream back into records.
+func ParseSpanJSONL(r io.Reader) ([]SpanRecord, error) { return hspan.ParseJSONL(r) }
+
+// SpanNode is one node of a reconstructed span tree.
+type SpanNode = hspan.Node
+
+// BuildSpanTree reconstructs the span forest from parsed records.
+func BuildSpanTree(recs []SpanRecord) []*SpanNode { return hspan.BuildTree(recs) }

@@ -66,6 +66,10 @@ var transPool = sync.Pool{New: func() any {
 func (m *Machine) install(pc uint64, e *transEntry) {
 	m.trans[pc] = e
 	m.chainEpoch++
+	// Both fresh translations and persistent-cache installs route
+	// through here, so this is the one place to attribute host-side
+	// translation latency to the machine.
+	m.transHostNS += e.transNS
 	if e.lo < m.transLo {
 		m.transLo = e.lo
 	}

@@ -345,6 +345,12 @@ type Machine struct {
 	tr       *obs.Tracer
 	wasTrans bool
 
+	// transHostNS accumulates host wall-clock nanoseconds spent
+	// translating regions installed on this machine. It lives outside
+	// Stats deliberately: Stats is compared by struct equality in
+	// determinism tests, and host time is nondeterministic.
+	transHostNS int64
+
 	stats Stats
 }
 
@@ -417,6 +423,13 @@ func (m *Machine) Bus() *bus.Bus { return m.b }
 
 // Cycles returns the current cycle counter.
 func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// TranslateHostNS returns the host wall-clock nanoseconds spent
+// translating the regions installed on this machine — the
+// translate-vs-execute split the harness attributes to each cell's
+// host span. Kept off Stats so run results stay comparable by
+// struct equality.
+func (m *Machine) TranslateHostNS() int64 { return m.transHostNS }
 
 // State returns the architectural register state (for inspection).
 func (m *Machine) State() *riscv.State { return &m.state }

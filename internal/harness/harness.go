@@ -35,6 +35,11 @@ type KernelRun struct {
 	// time is a property of the simulator, not the simulated machine:
 	// it feeds the perf-regression layer, never the guest.
 	HostNS int64
+	// TransNS is the host time the machine spent translating regions
+	// (dbt.Machine.TranslateHostNS) — the translate-vs-execute split
+	// host spans attribute per cell. Zero for runs without machine
+	// access (the Spectre PoC bench).
+	TransNS int64
 }
 
 // RunSpec executes a kernel spec on a fresh machine and validates every
@@ -102,7 +107,8 @@ func runArtifact(art *Artifact, cfg dbt.Config) (*KernelRun, error) {
 			}
 		}
 	}
-	return &KernelRun{Name: spec.Name, Mode: cfg.Mitigation, Cycles: res.Cycles, Stats: res.Stats}, nil
+	return &KernelRun{Name: spec.Name, Mode: cfg.Mitigation, Cycles: res.Cycles,
+		Stats: res.Stats, TransNS: m.TranslateHostNS()}, nil
 }
 
 // validateSpec checks the spec's internal consistency up front — most

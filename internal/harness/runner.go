@@ -12,6 +12,7 @@ import (
 	"ghostbusters/internal/attack"
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/dbt"
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/polybench"
 	"ghostbusters/internal/tcache"
 	"ghostbusters/internal/trap"
@@ -87,6 +88,13 @@ type Runner struct {
 	// only start-before-finish within one. Consumers: gbserve's
 	// per-job event stream and detect.Eval's progress reporting.
 	OnCell func(CellUpdate)
+
+	// Span, when enabled, parents the host-time span tree the matrix
+	// emits: one "cell" child per (bench, mode) with per-attempt and
+	// backoff children and a translate/execute split from the
+	// machine's own translation-latency accounting. The zero Span
+	// disables all of it at 0 allocs per cell.
+	Span hspan.Span
 }
 
 // CellUpdate is one progress notification from the matrix fan-out.
@@ -314,23 +322,49 @@ func (r *Runner) RunMatrix(ctx context.Context, base dbt.Config, benches []Bench
 func (r *Runner) runOne(ctx context.Context, base dbt.Config, b Bench, mode core.Mode) (*KernelRun, error) {
 	bo := Backoff{Base: r.Backoff, Max: r.BackoffMax, Seed: r.BackoffSeed}
 	key := b.Name + "|" + mode.String()
+	cell := r.Span.Child("cell", hspan.Str("bench", b.Name), hspan.Str("mode", mode.String()))
 	var lastErr error
 	for attempt := 0; attempt <= r.Retries; attempt++ {
 		if attempt > 0 {
-			if err := bo.Sleep(ctx, attempt, key); err != nil {
+			bs := cell.Child("backoff", hspan.Int("attempt", int64(attempt)))
+			err := bo.Sleep(ctx, attempt, key)
+			bs.End()
+			if err != nil {
 				break // cancellation interrupts the backoff pause itself
 			}
 		}
+		as := cell.Child("attempt", hspan.Int("attempt", int64(attempt)))
 		run, err := r.attemptOne(ctx, base, b, mode, attempt)
 		if err == nil {
+			endAttempt(as, run)
+			cell.End(hspan.Str("outcome", "ok"))
 			return run, nil
 		}
+		as.End(hspan.Str("outcome", "error"))
 		lastErr = err
 		if f := trap.As(err); f == nil || !f.Transient() {
 			break // real fault or host error: deterministic, retrying is futile
 		}
 	}
+	cell.End(hspan.Str("outcome", "error"))
 	return nil, lastErr
+}
+
+// endAttempt finishes a successful attempt's span, splitting it into
+// the translation and execution phases from the machine's own
+// accounting. The split renders the two as consecutive intervals —
+// translation actually interleaves with execution — so the children
+// are attributed durations on the cell timeline, not precise phases.
+func endAttempt(as hspan.Span, run *KernelRun) {
+	if !as.Enabled() {
+		return
+	}
+	if t := as.Tracer(); t != nil && run.TransNS > 0 {
+		start := as.StartNS()
+		as.Emit("translate", start, start+run.TransNS, hspan.Int("ns", run.TransNS))
+		as.Emit("execute", start+run.TransNS, t.Now(), hspan.Int("cycles", int64(run.Cycles)))
+	}
+	as.End(hspan.Str("outcome", "ok"), hspan.Int("cycles", int64(run.Cycles)))
 }
 
 // attemptOne is one try of a matrix cell. attempt > 0 reseeds the fault

@@ -1,0 +1,261 @@
+// Package hspan is the host-side span-tracing layer: the second clock
+// domain of the observability stack. internal/obs times everything in
+// *simulated cycles* — the guest's view of the world — while hspan
+// times the *host's* work in wall-clock nanoseconds: job admission,
+// queue wait, translation versus execution, retry backoff sleeps,
+// drain. The two compose in one Perfetto document (PerfettoSink writes
+// host spans into the same file the obs sink owns, under a separate
+// process), so a timeline shows what the simulated machine did and
+// what it cost the host, side by side.
+//
+// The contract mirrors obs: a nil *Tracer (and the zero Span) is a
+// valid no-op, pinned at 0 allocs per hook by TestDisabledSpansAllocs,
+// so span instrumentation can stay unconditionally wired through the
+// harness and the service. Unlike obs tracers — single-owner by
+// design — an hspan Tracer is safe for concurrent use: the service
+// ends spans from many worker goroutines.
+//
+// Spans form a tree (ID/Parent), and every finished span is emitted as
+// one Record: name, absolute start/end in Unix nanoseconds, and typed
+// attributes. The JSONL sink writes schema ghostbusters/span/v1.
+package hspan
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Schema identifies the span JSONL stream format (the header line's
+// "schema" field and the /v1/jobs/{id}/trace stream).
+const Schema = "ghostbusters/span/v1"
+
+// Attr is one typed span attribute. Attrs are values (no pointers, no
+// interfaces) so building them on a disabled path allocates nothing.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Str builds a string attribute.
+func Str(key, val string) Attr { return Attr{Key: key, Str: val} }
+
+// Int builds an integer attribute.
+func Int(key string, val int64) Attr { return Attr{Key: key, Int: val, IsInt: true} }
+
+// Record is one finished span. Start and End are absolute Unix
+// nanoseconds derived from a monotonic reading, so records from one
+// tracer are mutually consistent and still anchor to wall time for log
+// correlation. Parent 0 means a root span.
+type Record struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  int64
+	End    int64
+	Attrs  []Attr
+}
+
+// state is the shared core of a tracer and all of its forks: one
+// clock, one span-ID sequence, one sink.
+type state struct {
+	mu     sync.Mutex
+	sink   Sink
+	err    error
+	closed bool
+
+	base     time.Time // monotonic anchor
+	baseUnix int64     // base.UnixNano(), fixed at creation
+	ids      atomic.Uint64
+}
+
+// Tracer creates and collects spans. A nil *Tracer is a valid no-op:
+// every method returns immediately and Start returns the zero Span.
+// Tracers are safe for concurrent use.
+type Tracer struct {
+	st *state
+	// obs, when non-nil, observes every record emitted through this
+	// tracer (and spans derived from it) before it reaches the sink —
+	// the service's per-job span buffers ride here. Observer errors
+	// cannot exist: observers are plain callbacks.
+	obs func(Record)
+}
+
+// New builds a tracer over sink. sink may be nil (spans are still
+// timed and forked observers still see them — the service uses this
+// for the /trace endpoint without a span file). If the sink implements
+// BaseSink it is told the tracer's wall-clock anchor immediately.
+func New(sink Sink) *Tracer {
+	base := time.Now()
+	t := &Tracer{st: &state{sink: sink, base: base, baseUnix: base.UnixNano()}}
+	if bs, ok := sink.(BaseSink); ok {
+		bs.SetBase(t.st.baseUnix)
+	}
+	return t
+}
+
+// Fork returns a tracer sharing this one's clock, span-ID sequence and
+// sink, with observer called on every record emitted through the fork.
+// Observers compose: a fork of a fork calls both, outermost first.
+func (t *Tracer) Fork(observer func(Record)) *Tracer {
+	if t == nil {
+		return nil
+	}
+	f := observer
+	if prev := t.obs; prev != nil {
+		f = func(r Record) {
+			prev(r)
+			observer(r)
+		}
+	}
+	return &Tracer{st: t.st, obs: f}
+}
+
+// Now returns the tracer's current timestamp: absolute Unix
+// nanoseconds advanced by the monotonic clock. 0 on a nil tracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.st.baseUnix + time.Since(t.st.base).Nanoseconds()
+}
+
+// Base returns the tracer's wall-clock anchor (Unix nanoseconds at
+// creation) — what HeaderJSON wants. 0 on a nil tracer.
+func (t *Tracer) Base() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.st.baseUnix
+}
+
+// Err returns the first sink write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.st.mu.Lock()
+	defer t.st.mu.Unlock()
+	return t.st.err
+}
+
+// Close finalises the sink (idempotent; forks share the closed state).
+// Spans ended after Close are observed but no longer written.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	st := t.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.closed {
+		st.closed = true
+		if st.sink != nil {
+			if err := st.sink.Close(); err != nil && st.err == nil {
+				st.err = err
+			}
+		}
+	}
+	return st.err
+}
+
+// emit delivers one finished record: observers first, then the sink.
+func (t *Tracer) emit(r Record) {
+	if t.obs != nil {
+		t.obs(r)
+	}
+	st := t.st
+	st.mu.Lock()
+	if st.sink != nil && !st.closed {
+		if err := st.sink.WriteSpan(r); err != nil && st.err == nil {
+			st.err = err
+		}
+	}
+	st.mu.Unlock()
+}
+
+// Span is a live span handle. It is a small value, copied freely; the
+// zero Span (from a nil tracer) is a valid no-op.
+type Span struct {
+	t      *Tracer
+	id     uint64
+	parent uint64
+	start  int64
+	name   string
+	attrs  []Attr
+}
+
+// Start opens a root span. The attrs are recorded on the span's final
+// Record (End may add more). The variadic slice is copied, never
+// retained — that keeps it non-escaping, so call sites on a nil tracer
+// build it on the stack and the disabled path stays 0 allocs/op.
+func (t *Tracer) Start(name string, attrs ...Attr) Span {
+	if t == nil {
+		return Span{}
+	}
+	sp := Span{t: t, id: t.st.ids.Add(1), start: t.Now(), name: name}
+	if len(attrs) > 0 {
+		sp.attrs = append(make([]Attr, 0, len(attrs)), attrs...)
+	}
+	return sp
+}
+
+// Enabled reports whether the span is live (false for the zero Span).
+func (s Span) Enabled() bool { return s.t != nil }
+
+// ID returns the span's ID (0 for the zero Span).
+func (s Span) ID() uint64 { return s.id }
+
+// StartNS returns the span's start timestamp on the tracer clock.
+func (s Span) StartNS() int64 { return s.start }
+
+// Tracer returns the tracer the span was started on (nil for the zero
+// Span) — the handle the harness uses to derive further spans without
+// a separate field.
+func (s Span) Tracer() *Tracer { return s.t }
+
+// Child opens a span parented under s.
+func (s Span) Child(name string, attrs ...Attr) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	sp := s.t.Start(name, attrs...)
+	sp.parent = s.id
+	return sp
+}
+
+// End finishes the span and emits its Record. attrs are appended to
+// the ones given at Start. Ending the zero Span does nothing.
+func (s Span) End(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	all := s.attrs
+	if len(attrs) > 0 {
+		all = make([]Attr, 0, len(s.attrs)+len(attrs))
+		all = append(all, s.attrs...)
+		all = append(all, attrs...)
+	}
+	s.t.emit(Record{ID: s.id, Parent: s.parent, Name: s.name,
+		Start: s.start, End: s.t.Now(), Attrs: all})
+}
+
+// Emit records a synthetic child span of s with explicit timestamps on
+// the tracer clock — how the harness splits a cell into its
+// translate/execute phases after the fact, from the machine's own
+// measurements.
+func (s Span) Emit(name string, startNS, endNS int64, attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	var all []Attr
+	if len(attrs) > 0 {
+		// Copy rather than retain, as in Start: the variadic slice
+		// stays non-escaping and the disabled path allocation-free.
+		all = append(make([]Attr, 0, len(attrs)), attrs...)
+	}
+	s.t.emit(Record{ID: s.t.st.ids.Add(1), Parent: s.id, Name: name,
+		Start: startNS, End: endNS, Attrs: all})
+}

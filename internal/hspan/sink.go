@@ -1,0 +1,248 @@
+package hspan
+
+import (
+	"io"
+	"strconv"
+
+	"ghostbusters/internal/obs"
+)
+
+// Sink consumes finished span records. WriteSpan is called under the
+// tracer's lock — sinks need no locking of their own. Close finalises
+// the output; like obs sinks it does not close the underlying writer.
+type Sink interface {
+	WriteSpan(Record) error
+	Close() error
+}
+
+// BaseSink is implemented by sinks that want the tracer's wall-clock
+// anchor (Unix nanoseconds at tracer creation). New calls SetBase
+// before any span can be written, so sinks can normalise timestamps to
+// a zero origin (Perfetto) or record the anchor in a header (JSONL).
+type BaseSink interface {
+	SetBase(unixNS int64)
+}
+
+// MultiSink fans each record out to several sinks; the first error
+// wins but every sink sees every record.
+type MultiSink []Sink
+
+// NewMultiSink bundles sinks into one.
+func NewMultiSink(sinks ...Sink) MultiSink { return MultiSink(sinks) }
+
+func (m MultiSink) SetBase(unixNS int64) {
+	for _, s := range m {
+		if bs, ok := s.(BaseSink); ok {
+			bs.SetBase(unixNS)
+		}
+	}
+}
+
+func (m MultiSink) WriteSpan(r Record) error {
+	var first error
+	for _, s := range m {
+		if err := s.WriteSpan(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m MultiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// appendRecord renders r as the ghostbusters/span/v1 JSON object:
+//
+//	{"id":N,"parent":N,"name":"x","start_ns":N,"end_ns":N,"attrs":{...}}
+//
+// Attrs render in the order they were recorded (Start attrs first) —
+// call sites pass them in a fixed order, so the stream stays
+// deterministic without a sort. Shared by the JSONL sink and the
+// /v1/jobs/{id}/trace endpoint via Record.AppendJSON.
+func appendRecord(b []byte, r *Record) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendUint(b, r.ID, 10)
+	b = append(b, `,"parent":`...)
+	b = strconv.AppendUint(b, r.Parent, 10)
+	b = append(b, `,"name":`...)
+	b = appendQuoted(b, r.Name)
+	b = append(b, `,"start_ns":`...)
+	b = strconv.AppendInt(b, r.Start, 10)
+	b = append(b, `,"end_ns":`...)
+	b = strconv.AppendInt(b, r.End, 10)
+	if len(r.Attrs) > 0 {
+		b = append(b, `,"attrs":{`...)
+		for i := range r.Attrs {
+			a := &r.Attrs[i]
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendQuoted(b, a.Key)
+			b = append(b, ':')
+			if a.IsInt {
+				b = strconv.AppendInt(b, a.Int, 10)
+			} else {
+				b = appendQuoted(b, a.Str)
+			}
+		}
+		b = append(b, '}')
+	}
+	return append(b, '}')
+}
+
+// AppendJSON appends the record's span/v1 JSON object to b.
+func (r Record) AppendJSON(b []byte) []byte { return appendRecord(b, &r) }
+
+// appendQuoted renders s as a quoted JSON string, fast-pathing the
+// plain-ASCII names and attr values spans actually carry.
+func appendQuoted(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x7f {
+			return strconv.AppendQuote(b, s)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// HeaderJSON renders the span/v1 stream header line (without trailing
+// newline): schema, clock domain, and the tracer's wall-clock anchor.
+func HeaderJSON(baseUnixNS int64) []byte {
+	b := []byte(`{"schema":"` + Schema + `","clock":"unix_ns","base_unix_ns":`)
+	b = strconv.AppendInt(b, baseUnixNS, 10)
+	return append(b, '}')
+}
+
+// JSONLSink writes the span/v1 stream: one header line naming the
+// schema and clock anchor, then one record object per line.
+type JSONLSink struct {
+	w      io.Writer
+	buf    []byte
+	base   int64
+	opened bool
+}
+
+// NewJSONLSink builds a span/v1 JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+func (s *JSONLSink) SetBase(unixNS int64) { s.base = unixNS }
+
+func (s *JSONLSink) header() error {
+	if s.opened {
+		return nil
+	}
+	s.opened = true
+	b := append(HeaderJSON(s.base), '\n')
+	_, err := s.w.Write(b)
+	return err
+}
+
+func (s *JSONLSink) WriteSpan(r Record) error {
+	if err := s.header(); err != nil {
+		return err
+	}
+	b := appendRecord(s.buf[:0], &r)
+	b = append(b, '\n')
+	s.buf = b
+	_, err := s.w.Write(b)
+	return err
+}
+
+// Close writes the header if nothing was ever emitted, so even an
+// empty trace is a valid (schema-identified) stream.
+func (s *JSONLSink) Close() error { return s.header() }
+
+// PerfettoSink renders host spans into an obs Perfetto document as a
+// second process: pid 1 "ghostbusters-host", complete ("X") events in
+// real microseconds next to the simulator's pid 0 simulated-cycle
+// tracks. The document is owned by the obs tracer — this sink's Close
+// is a no-op and the obs side writes the terminator — so span tracers
+// must be closed before the obs tracer.
+type PerfettoSink struct {
+	doc    *obs.PerfettoSink
+	buf    []byte
+	base   int64
+	opened bool
+}
+
+// NewPerfettoSink adapts host spans onto doc, the simulated-cycle
+// Perfetto document they should interleave into.
+func NewPerfettoSink(doc *obs.PerfettoSink) *PerfettoSink {
+	return &PerfettoSink{doc: doc}
+}
+
+const hostPID = 1
+
+func (s *PerfettoSink) SetBase(unixNS int64) { s.base = unixNS }
+
+func (s *PerfettoSink) metadata() error {
+	if s.opened {
+		return nil
+	}
+	s.opened = true
+	if err := s.doc.WriteRawEvent([]byte(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"ghostbusters-host"}}`)); err != nil {
+		return err
+	}
+	return s.doc.WriteRawEvent([]byte(`{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"host-spans"}}`))
+}
+
+// appendMicros renders ns as microseconds with three decimals — the
+// trace-event "ts"/"dur" unit — preserving nanosecond precision.
+func appendMicros(b []byte, ns int64) []byte {
+	if ns < 0 {
+		b = append(b, '-')
+		ns = -ns
+	}
+	b = strconv.AppendInt(b, ns/1000, 10)
+	frac := ns % 1000
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+(frac/10)%10), byte('0'+frac%10))
+	return b
+}
+
+func (s *PerfettoSink) WriteSpan(r Record) error {
+	if err := s.metadata(); err != nil {
+		return err
+	}
+	b := s.buf[:0]
+	b = append(b, `{"cat":"host","ph":"X","ts":`...)
+	b = appendMicros(b, r.Start-s.base)
+	b = append(b, `,"dur":`...)
+	b = appendMicros(b, r.End-r.Start)
+	b = append(b, `,"pid":1,"tid":0,"name":`...)
+	b = appendQuoted(b, r.Name)
+	if len(r.Attrs) > 0 {
+		b = append(b, `,"args":{`...)
+		for i := range r.Attrs {
+			a := &r.Attrs[i]
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendQuoted(b, a.Key)
+			b = append(b, ':')
+			if a.IsInt {
+				b = strconv.AppendInt(b, a.Int, 10)
+			} else {
+				b = appendQuoted(b, a.Str)
+			}
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	s.buf = b
+	return s.doc.WriteRawEvent(b)
+}
+
+// Close is a no-op: the obs tracer owns the document and writes its
+// terminator. It does ensure the host process metadata exists, so a
+// span tracer that never emitted still leaves a recognisable (empty)
+// host track set.
+func (s *PerfettoSink) Close() error { return s.metadata() }

@@ -632,6 +632,28 @@ func (s *PerfettoSink) WriteEvents(evs []Event) error {
 	return err
 }
 
+// WriteRawEvent appends one pre-rendered trace-event object to the
+// document, handling the preamble and comma placement exactly like
+// WriteEvents. obj must be a complete JSON object with no trailing
+// separators. This is the seam that lets a second clock domain — the
+// host-nanosecond span sink in internal/hspan — interleave its events
+// into the same Perfetto file the simulated-cycle tracer owns, so one
+// document carries both track sets.
+func (s *PerfettoSink) WriteRawEvent(obj []byte) error {
+	if err := s.preamble(); err != nil {
+		return err
+	}
+	b := s.buf[:0]
+	if s.wrote {
+		b = append(b, ',', '\n')
+	}
+	s.wrote = true
+	b = append(b, obj...)
+	s.buf = b
+	_, err := s.w.Write(b)
+	return err
+}
+
 // Close terminates the JSON document. A trace with no events still
 // closes to a valid (metadata-only) document.
 func (s *PerfettoSink) Close() error {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/polybench"
 )
 
@@ -93,6 +94,7 @@ func (s *Server) cellCount(req *JobRequest, nmodes int) int {
 // HTTP status) is the structured rejection; admitted jobs come back in
 // the queued state.
 func (s *Server) admit(req JobRequest) (*Job, int, *APIError) {
+	admitStart := s.spans.Now()
 	modes, aerr := req.validate()
 	if aerr != nil {
 		return nil, 400, aerr
@@ -161,6 +163,7 @@ func (s *Server) admit(req JobRequest) (*Job, int, *APIError) {
 		cancel:         cancel,
 		done:           make(chan struct{}),
 		wake:           make(chan struct{}),
+		spanWake:       make(chan struct{}),
 		cycleAllowance: allowance,
 		memCharge:      memCharge,
 		cells:          cells,
@@ -188,6 +191,18 @@ func (s *Server) admit(req JobRequest) (*Job, int, *APIError) {
 	s.jobs[j.ID] = j
 	s.queued++
 	s.metrics.submit()
+	// Open the job's span tree: a fork whose observer is the job's
+	// /trace buffer (safe under s.mu — appendSpan takes only the leaf
+	// spanMu), the admission decision as an already-finished child, and
+	// the queue-wait span the dequeuing worker will close. Everything
+	// the job's execution emits hangs off j.root.
+	jt := s.spans.Fork(j.appendSpan)
+	j.root = jt.Start("job",
+		hspan.Str("job", j.ID), hspan.Str("tenant", j.Tenant),
+		hspan.Str("kind", req.Kind), hspan.Int("cells", int64(cells)))
+	j.rootID = j.root.ID()
+	j.root.Emit("admission", admitStart, jt.Now(), hspan.Int("allowance", int64(allowance)))
+	j.queueSpan = j.root.Child("queue-wait")
 	s.log.Printf("serve: %s admitted: tenant=%s kind=%s cells=%d allowance=%d", j.ID, j.Tenant, req.Kind, cells, allowance)
 	return j, 202, nil
 }

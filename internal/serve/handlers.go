@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Handler returns the service's HTTP API:
@@ -14,16 +15,23 @@ import (
 //	GET    /v1/jobs/{id}        status (?wait=1 blocks until terminal)
 //	GET    /v1/jobs/{id}/output rendered output of a finished job (text/plain)
 //	GET    /v1/jobs/{id}/events live NDJSON progress stream (cells, detector alarms)
+//	GET    /v1/jobs/{id}/trace  the job's host-span tree (span/v1 NDJSON, live + replay)
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness (always 200 while the process serves)
 //	GET    /readyz              admission readiness (503 once draining)
 //	GET    /metrics             Prometheus text exposition
+//
+// The returned handler wraps the mux in structured request logging:
+// every request is assigned a sequential X-Request-Id, and the access
+// line carries the job/tenant correlation IDs the handlers annotate
+// via response headers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/output", s.handleOutput)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -39,7 +47,57 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.logRequests(mux)
+}
+
+// logResponseWriter captures status and byte count for the access log.
+// Flush is forwarded so the NDJSON streaming endpoints (events, trace)
+// keep flushing per row through the wrapper.
+type logResponseWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *logResponseWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *logResponseWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *logResponseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logRequests is the access-log middleware: one structured line per
+// request with a sequential request ID, method, path, status, bytes,
+// duration, and the job/tenant correlation IDs the handler attached
+// as X-Job-Id / X-Tenant response headers.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := s.reqSeq.Add(1)
+		lw := &logResponseWriter{ResponseWriter: w, status: http.StatusOK}
+		lw.Header().Set("X-Request-Id", strconv.FormatUint(rid, 10))
+		start := time.Now()
+		next.ServeHTTP(lw, r)
+		job := lw.Header().Get("X-Job-Id")
+		if job == "" {
+			job = "-"
+		}
+		tenant := lw.Header().Get("X-Tenant")
+		if tenant == "" {
+			tenant = "-"
+		}
+		s.log.Printf("serve: http rid=%d method=%s path=%s status=%d bytes=%d dur=%s job=%s tenant=%s",
+			rid, r.Method, r.URL.Path, lw.status, lw.bytes, time.Since(start).Round(time.Microsecond), job, tenant)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -78,6 +136,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, aerr)
 		return
 	}
+	w.Header().Set("X-Job-Id", j.ID)
+	w.Header().Set("X-Tenant", j.Tenant)
 	if r.URL.Query().Get("wait") != "" {
 		select {
 		case <-j.done:
@@ -105,6 +165,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
+	w.Header().Set("X-Job-Id", j.ID)
+	w.Header().Set("X-Tenant", j.Tenant)
 	if r.URL.Query().Get("wait") != "" {
 		select {
 		case <-j.done:
@@ -127,6 +189,8 @@ func (s *Server) handleOutput(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
+	w.Header().Set("X-Job-Id", j.ID)
+	w.Header().Set("X-Tenant", j.Tenant)
 	s.mu.Lock()
 	state, res, aerr := j.state, j.result, j.apiErr
 	s.mu.Unlock()
@@ -154,6 +218,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
+	w.Header().Set("X-Job-Id", j.ID)
+	w.Header().Set("X-Tenant", j.Tenant)
 	j.cancel()
 	s.mu.Lock()
 	st := j.status()

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"ghostbusters/internal/core"
 	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/obs"
 )
 
@@ -174,6 +176,42 @@ type Job struct {
 	// are guarded by the server mutex.
 	events []JobEvent
 	wake   chan struct{}
+
+	// Host-span state. root is the job's span (started at admission,
+	// ended in finish); queueSpan covers admission→dequeue. The buffer
+	// below feeds GET /v1/jobs/{id}/trace the way events feeds the
+	// events stream, but under its own leaf lock: spans are emitted
+	// from paths that already hold s.mu (admission) and from harness
+	// worker goroutines, so they must not take the server mutex.
+	// Lock order: s.mu → spanMu, never the reverse.
+	root      hspan.Span
+	rootID    uint64
+	queueSpan hspan.Span
+
+	spanMu    sync.Mutex
+	spans     []hspan.Record
+	spanWake  chan struct{}
+	spansDone bool // the root record has landed: the trace is complete
+}
+
+// maxJobSpans bounds the per-job span buffer; like maxJobEvents, the
+// cap only matters for adversarial workloads, and the root record is
+// always kept so /trace streams still terminate.
+const maxJobSpans = 4096
+
+// appendSpan is the job's span observer (wired via hspan.Tracer.Fork
+// at admission): it buffers the record and wakes every /trace reader.
+func (j *Job) appendSpan(r hspan.Record) {
+	j.spanMu.Lock()
+	if len(j.spans) < maxJobSpans || r.ID == j.rootID {
+		j.spans = append(j.spans, r)
+	}
+	if r.ID == j.rootID {
+		j.spansDone = true
+	}
+	close(j.spanWake)
+	j.spanWake = make(chan struct{})
+	j.spanMu.Unlock()
 }
 
 // Status renders the wire view (caller holds the server mutex or owns

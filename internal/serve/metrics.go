@@ -4,15 +4,25 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/obs"
 )
 
-// serverMetrics holds the service-level counters behind its own mutex
-// (lock order: s.mu may be held when taking metrics.mu, never the
-// reverse).
+// cellKey labels a cell-host-time histogram: one distribution per
+// (tenant, mitigation mode), so the slowdown story the Fig. 4 matrix
+// tells in guest cycles has its host-time counterpart per mode.
+type cellKey struct {
+	tenant string
+	mode   string
+}
+
+// serverMetrics holds the service-level counters and latency
+// histograms behind its own mutex (lock order: s.mu may be held when
+// taking metrics.mu, never the reverse).
 type serverMetrics struct {
 	mu        sync.Mutex
 	submitted uint64
@@ -20,12 +30,22 @@ type serverMetrics struct {
 	completed map[string]uint64 // by terminal state
 	panics    uint64
 	sim       obs.Snapshot // fleet-wide aggregate of run snapshots
+
+	// Latency distributions, log-bucketed (hspan.Histogram): how long
+	// jobs sat in the admission queue, how long they took wall-clock,
+	// and how long individual matrix cells cost the host.
+	queueWait map[string]*hspan.Histogram // by tenant
+	jobWall   map[string]*hspan.Histogram // by tenant
+	cellHost  map[cellKey]*hspan.Histogram
 }
 
 func (m *serverMetrics) init() {
 	m.rejected = make(map[string]uint64)
 	m.completed = make(map[string]uint64)
 	m.sim = make(obs.Snapshot)
+	m.queueWait = make(map[string]*hspan.Histogram)
+	m.jobWall = make(map[string]*hspan.Histogram)
+	m.cellHost = make(map[cellKey]*hspan.Histogram)
 }
 
 func (m *serverMetrics) submit() {
@@ -58,64 +78,232 @@ func (m *serverMetrics) addRun(snap obs.Snapshot) {
 	m.mu.Unlock()
 }
 
-// promName maps an obs stable name (dots and dashes) onto the
-// Prometheus grammar.
+func (m *serverMetrics) observeQueueWait(tenant string, ns int64) {
+	m.mu.Lock()
+	h := m.queueWait[tenant]
+	if h == nil {
+		h = &hspan.Histogram{}
+		m.queueWait[tenant] = h
+	}
+	h.Observe(ns)
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) observeJobWall(tenant string, ns int64) {
+	m.mu.Lock()
+	h := m.jobWall[tenant]
+	if h == nil {
+		h = &hspan.Histogram{}
+		m.jobWall[tenant] = h
+	}
+	h.Observe(ns)
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) observeCellHost(tenant, mode string, ns int64) {
+	m.mu.Lock()
+	k := cellKey{tenant, mode}
+	h := m.cellHost[k]
+	if h == nil {
+		h = &hspan.Histogram{}
+		m.cellHost[k] = h
+	}
+	h.Observe(ns)
+	m.mu.Unlock()
+}
+
+// promName maps an obs stable name onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every rune outside the grammar
+// becomes '_', not just the dots and dashes stable names use today —
+// a future stable name (or a unit suffix like "bytes/s") must degrade
+// to a scrapable name, never to a family strict scrapers drop. The
+// "gb_" prefix keeps the first-rune class satisfied even for names
+// that start with a digit.
 func promName(name string) string {
-	return "gb_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+	var b strings.Builder
+	b.Grow(len(name) + 3)
+	b.WriteString("gb_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// family is one exposition family: its # HELP and # TYPE header plus
+// fully rendered sample lines. Families render sorted by name and
+// empty families are skipped, so the exposition stays deterministic
+// and every sample is preceded by its metadata — the grammar the
+// smoke test validates.
+type family struct {
+	name string
+	typ  string // gauge | counter | histogram
+	help string
+	rows []string
+}
+
+func renderFamilies(b *strings.Builder, fams []family) {
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if len(f.rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, r := range f.rows {
+			b.WriteString(r)
+			b.WriteByte('\n')
+		}
+	}
+}
+
+// formatSeconds renders a nanosecond quantity as seconds the way
+// Prometheus clients do (shortest float that round-trips).
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// histRows renders one labelled histogram in Prometheus exposition:
+// cumulative _bucket{...,le="..."} lines in seconds, then _sum and
+// _count. labels is the pre-rendered label list without braces.
+func histRows(rows []string, name, labels string, h *hspan.Histogram) []string {
+	bounds := hspan.HistBounds()
+	cum := h.BucketCounts()
+	for i, bound := range bounds {
+		rows = append(rows, fmt.Sprintf("%s_bucket{%s,le=%q} %d", name, labels, formatSeconds(bound), cum[i]))
+	}
+	rows = append(rows, fmt.Sprintf("%s_bucket{%s,le=\"+Inf\"} %d", name, labels, cum[len(cum)-1]))
+	rows = append(rows, fmt.Sprintf("%s_sum{%s} %s", name, labels, formatSeconds(h.Sum())))
+	rows = append(rows, fmt.Sprintf("%s_count{%s} %d", name, labels, h.Count()))
+	return rows
+}
+
+// tenantHistFamily renders a by-tenant histogram map as one family.
+func tenantHistFamily(name, help string, m map[string]*hspan.Histogram) family {
+	f := family{name: name, typ: "histogram", help: help}
+	tenants := make([]string, 0, len(m))
+	for t := range m {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		f.rows = histRows(f.rows, name, fmt.Sprintf("tenant=%q", t), m[t])
+	}
+	return f
 }
 
 // handleMetrics renders the Prometheus text exposition: server gauges
 // and counters under gbserve_*, per-tenant ledgers labelled by tenant,
-// and the fleet-wide simulator aggregate under gb_*. Output order is
-// deterministic (sorted) so scrapes diff cleanly.
+// latency histograms, and the fleet-wide simulator aggregate under
+// gb_*. Every family carries # HELP and # TYPE metadata, families are
+// sorted by name, and samples within a family are sorted by label, so
+// scrapes diff cleanly and strict scrapers stay quiet.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	var b strings.Builder
+	var fams []family
+	gauge1 := func(name, help string, v int) {
+		fams = append(fams, family{name: name, typ: "gauge", help: help,
+			rows: []string{fmt.Sprintf("%s %d", name, v)}})
+	}
 
 	s.mu.Lock()
 	draining := 0
 	if s.draining {
 		draining = 1
 	}
-	fmt.Fprintf(&b, "gbserve_draining %d\n", draining)
-	fmt.Fprintf(&b, "gbserve_jobs_queued %d\n", s.queued)
-	fmt.Fprintf(&b, "gbserve_jobs_running %d\n", s.running)
-	fmt.Fprintf(&b, "gbserve_queue_depth %d\n", cap(s.queue))
-	fmt.Fprintf(&b, "gbserve_workers %d\n", s.workers)
+	gauge1("gbserve_draining", "Whether the server is draining (1) or accepting jobs (0).", draining)
+	gauge1("gbserve_jobs_queued", "Jobs admitted and waiting in the queue.", s.queued)
+	gauge1("gbserve_jobs_running", "Jobs currently executing on the worker fleet.", s.running)
+	gauge1("gbserve_queue_depth", "Capacity of the admission queue.", cap(s.queue))
+	gauge1("gbserve_workers", "Size of the worker fleet.", s.workers)
 	names := make([]string, 0, len(s.tenants))
 	for name := range s.tenants {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	inFlight := family{name: "gbserve_tenant_in_flight", typ: "gauge",
+		help: "Jobs queued or running per tenant."}
+	cyclesUsed := family{name: "gbserve_tenant_cycles_used", typ: "counter",
+		help: "Settled simulated cycles of finished jobs per tenant."}
+	cyclesReserved := family{name: "gbserve_tenant_cycles_reserved", typ: "gauge",
+		help: "Cycle allowances of admitted, unfinished jobs per tenant."}
+	memUsed := family{name: "gbserve_tenant_mem_used_bytes", typ: "counter",
+		help: "Cumulative guest-memory bytes charged per tenant."}
+	rejects := family{name: "gbserve_tenant_rejects_total", typ: "counter",
+		help: "Admission rejections per tenant."}
+	alarms := family{name: "gb_detect_alarms_total", typ: "counter",
+		help: "Online attack-phase detector alarms across finished jobs per tenant."}
 	for _, name := range names {
 		t := s.tenants[name]
-		fmt.Fprintf(&b, "gbserve_tenant_in_flight{tenant=%q} %d\n", name, t.inFlight)
-		fmt.Fprintf(&b, "gbserve_tenant_cycles_used{tenant=%q} %d\n", name, t.cyclesUsed)
-		fmt.Fprintf(&b, "gbserve_tenant_cycles_reserved{tenant=%q} %d\n", name, t.cyclesReserved)
-		fmt.Fprintf(&b, "gbserve_tenant_mem_used_bytes{tenant=%q} %d\n", name, t.memUsed)
-		fmt.Fprintf(&b, "gbserve_tenant_rejects_total{tenant=%q} %d\n", name, t.rejects)
-		fmt.Fprintf(&b, "gb_detect_alarms_total{tenant=%q} %d\n", name, t.detectAlarms)
+		inFlight.rows = append(inFlight.rows, fmt.Sprintf("gbserve_tenant_in_flight{tenant=%q} %d", name, t.inFlight))
+		cyclesUsed.rows = append(cyclesUsed.rows, fmt.Sprintf("gbserve_tenant_cycles_used{tenant=%q} %d", name, t.cyclesUsed))
+		cyclesReserved.rows = append(cyclesReserved.rows, fmt.Sprintf("gbserve_tenant_cycles_reserved{tenant=%q} %d", name, t.cyclesReserved))
+		memUsed.rows = append(memUsed.rows, fmt.Sprintf("gbserve_tenant_mem_used_bytes{tenant=%q} %d", name, t.memUsed))
+		rejects.rows = append(rejects.rows, fmt.Sprintf("gbserve_tenant_rejects_total{tenant=%q} %d", name, t.rejects))
+		alarms.rows = append(alarms.rows, fmt.Sprintf("gb_detect_alarms_total{tenant=%q} %d", name, t.detectAlarms))
 	}
+	fams = append(fams, inFlight, cyclesUsed, cyclesReserved, memUsed, rejects, alarms)
 	s.mu.Unlock()
 
 	s.metrics.mu.Lock()
-	fmt.Fprintf(&b, "gbserve_jobs_submitted_total %d\n", s.metrics.submitted)
-	fmt.Fprintf(&b, "gbserve_job_panics_total %d\n", s.metrics.panics)
+	fams = append(fams, family{name: "gbserve_jobs_submitted_total", typ: "counter",
+		help: "Jobs admitted since start.",
+		rows: []string{fmt.Sprintf("gbserve_jobs_submitted_total %d", s.metrics.submitted)}})
+	fams = append(fams, family{name: "gbserve_job_panics_total", typ: "counter",
+		help: "Job panics caught by the isolation boundary.",
+		rows: []string{fmt.Sprintf("gbserve_job_panics_total %d", s.metrics.panics)}})
+	rejected := family{name: "gbserve_jobs_rejected_total", typ: "counter",
+		help: "Admission rejections by structured error code."}
 	for _, kv := range sortedCounts(s.metrics.rejected) {
-		fmt.Fprintf(&b, "gbserve_jobs_rejected_total{code=%q} %d\n", kv.k, kv.v)
+		rejected.rows = append(rejected.rows, fmt.Sprintf("gbserve_jobs_rejected_total{code=%q} %d", kv.k, kv.v))
 	}
+	completed := family{name: "gbserve_jobs_completed_total", typ: "counter",
+		help: "Finished jobs by terminal state."}
 	for _, kv := range sortedCounts(s.metrics.completed) {
-		fmt.Fprintf(&b, "gbserve_jobs_completed_total{state=%q} %d\n", kv.k, kv.v)
+		completed.rows = append(completed.rows, fmt.Sprintf("gbserve_jobs_completed_total{state=%q} %d", kv.k, kv.v))
 	}
+	fams = append(fams, rejected, completed)
+
+	fams = append(fams, tenantHistFamily("gbserve_queue_wait_seconds",
+		"Time jobs spent in the admission queue, per tenant.", s.metrics.queueWait))
+	fams = append(fams, tenantHistFamily("gbserve_job_wall_seconds",
+		"Job wall time from admission to terminal state, per tenant.", s.metrics.jobWall))
+	cellHost := family{name: "gbserve_cell_host_seconds", typ: "histogram",
+		help: "Host time per matrix cell, by tenant and mitigation mode."}
+	cellKeys := make([]cellKey, 0, len(s.metrics.cellHost))
+	for k := range s.metrics.cellHost {
+		cellKeys = append(cellKeys, k)
+	}
+	sort.Slice(cellKeys, func(i, j int) bool {
+		if cellKeys[i].tenant != cellKeys[j].tenant {
+			return cellKeys[i].tenant < cellKeys[j].tenant
+		}
+		return cellKeys[i].mode < cellKeys[j].mode
+	})
+	for _, k := range cellKeys {
+		cellHost.rows = histRows(cellHost.rows, "gbserve_cell_host_seconds",
+			fmt.Sprintf("tenant=%q,mode=%q", k.tenant, k.mode), s.metrics.cellHost[k])
+	}
+	fams = append(fams, cellHost)
+
 	simNames := make([]string, 0, len(s.metrics.sim))
 	for name := range s.metrics.sim {
 		simNames = append(simNames, name)
 	}
 	sort.Strings(simNames)
 	for _, name := range simNames {
-		fmt.Fprintf(&b, "%s %d\n", promName(name), s.metrics.sim[name])
+		pn := promName(name)
+		fams = append(fams, family{name: pn, typ: "counter",
+			help: fmt.Sprintf("Simulator metric %s aggregated across completed runs.", name),
+			rows: []string{fmt.Sprintf("%s %d", pn, s.metrics.sim[name])}})
 	}
 	s.metrics.mu.Unlock()
 
+	var b strings.Builder
+	renderFamilies(&b, fams)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

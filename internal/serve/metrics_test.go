@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"sim.cycles", "gb_sim_cycles"},
+		{"dbt.trans-count", "gb_dbt_trans_count"},
+		{"already_fine", "gb_already_fine"},
+		{"colons:ok", "gb_colons:ok"},
+		{"9starts.with.digit", "gb_9starts_with_digit"},
+		{"bytes/s", "gb_bytes_s"},
+		{"spaces and tabs\t", "gb_spaces_and_tabs_"},
+		{"unicode-λ-rune", "gb_unicode___rune"},
+		{`quotes"and{braces}`, "gb_quotes_and_braces_"},
+		{"", "gb_"},
+	}
+	for _, tc := range cases {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// Everything promName emits must satisfy the metric-name grammar.
+	grammar := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	for _, tc := range cases {
+		if got := promName(tc.in); !grammar.MatchString(got) {
+			t.Errorf("promName(%q) = %q violates the name grammar", tc.in, got)
+		}
+	}
+}
+
+// TestMetricsExpositionGrammar scrapes a server that has done real work
+// and validates the whole exposition: every sample belongs to a family
+// announced by # HELP and # TYPE immediately above it, names satisfy
+// the grammar, families arrive sorted, and histogram families carry
+// the _bucket/_sum/_count triple with cumulative bucket counts.
+func TestMetricsExpositionGrammar(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, st := postJob(t, ts, JobRequest{Tenant: "alice", Kind: KindRun, Program: quickProg}, "?wait=1")
+	if resp.StatusCode != http.StatusAccepted || st.State != StateDone {
+		t.Fatalf("job = %d %+v", resp.StatusCode, st)
+	}
+	code, body := getBody(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? [0-9eE.+-]+$`)
+	type fam struct{ help, typ bool }
+	families := map[string]*fam{}
+	var current string
+	var order []string
+	samples := map[string]int{}
+
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name := nameRe.FindString(strings.TrimPrefix(line, "# HELP "))
+			if name == "" {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			if families[name] != nil {
+				t.Fatalf("family %s announced twice", name)
+			}
+			families[name] = &fam{help: true}
+			current = name
+			order = append(order, name)
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name := nameRe.FindString(rest)
+			typ := strings.TrimSpace(strings.TrimPrefix(rest, name))
+			if name != current {
+				t.Fatalf("TYPE for %s but current family is %s", name, current)
+			}
+			switch typ {
+			case "gauge", "counter", "histogram":
+			default:
+				t.Fatalf("family %s has unknown type %q", name, typ)
+			}
+			families[name].typ = true
+		case line == "":
+			t.Fatal("exposition contains a blank line")
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed sample line: %q", line)
+			}
+			base := m[1]
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				trimmed := strings.TrimSuffix(base, suffix)
+				if trimmed != base && families[trimmed] != nil {
+					base = trimmed
+					break
+				}
+			}
+			f := families[base]
+			if f == nil || !f.help || !f.typ {
+				t.Fatalf("sample %q not announced by # HELP and # TYPE (family %s)", line, base)
+			}
+			if base != current {
+				t.Fatalf("sample %q outside its family block (current %s)", line, current)
+			}
+			samples[base]++
+		}
+	}
+
+	// Families are sorted and none announced without samples.
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Errorf("families out of order: %s before %s", order[i-1], order[i])
+		}
+	}
+	for name, f := range families {
+		if !f.help || !f.typ {
+			t.Errorf("family %s missing HELP or TYPE", name)
+		}
+		if samples[name] == 0 {
+			t.Errorf("family %s announced but has no samples", name)
+		}
+	}
+
+	// A completed job must have populated all three latency histograms.
+	for _, h := range []string{"gbserve_queue_wait_seconds", "gbserve_job_wall_seconds", "gbserve_cell_host_seconds"} {
+		if samples[h] == 0 {
+			t.Errorf("histogram family %s absent after a completed job", h)
+		}
+		if !strings.Contains(body, h+`_bucket{`) ||
+			!strings.Contains(body, h+"_sum{") ||
+			!strings.Contains(body, h+"_count{") {
+			t.Errorf("histogram family %s missing its _bucket/_sum/_count triple", h)
+		}
+		if !strings.Contains(body, h+`_bucket{tenant="alice"`) || !strings.Contains(body, `le="+Inf"`) {
+			t.Errorf("histogram family %s has no alice series with a +Inf bucket", h)
+		}
+	}
+
+	// Bucket counts are cumulative: non-decreasing per series, +Inf
+	// equal to _count.
+	checkCumulative(t, body, `gbserve_queue_wait_seconds`, `tenant="alice"`)
+
+	// The scrape is deterministic: an immediately repeated scrape of a
+	// quiet server is byte-identical.
+	_, again := getBody(t, ts, "/metrics")
+	if body != again {
+		t.Error("repeated scrape of a quiet server differs")
+	}
+}
+
+func checkCumulative(t *testing.T, body, name, labels string) {
+	t.Helper()
+	prefix := name + "_bucket{" + labels + ","
+	var prev uint64
+	buckets := 0
+	var last uint64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q (%d after %d)", line, v, prev)
+		}
+		prev, last = v, v
+		buckets++
+	}
+	if buckets == 0 {
+		t.Fatalf("no buckets found for %s{%s}", name, labels)
+	}
+	countLine := name + "_count{" + labels + "} " + fmt.Sprint(last)
+	if !strings.Contains(body, countLine) {
+		t.Fatalf("+Inf bucket (%d) disagrees with _count (wanted line %q)", last, countLine)
+	}
+}

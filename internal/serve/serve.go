@@ -47,10 +47,12 @@ import (
 	"log"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/harness"
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/tcache"
 )
@@ -108,6 +110,13 @@ type Config struct {
 	// and a corrupt document degrades to a cold translation.
 	TransCache *tcache.Cache
 
+	// Spans, when non-nil, receives the fleet's host-time span tree
+	// (job / admission / queue-wait / attempt / backoff / cell spans,
+	// plus drain). nil still gets a sinkless tracer internally: spans
+	// are always timed so latency histograms and the per-job
+	// /v1/jobs/{id}/trace stream work without a span file configured.
+	Spans *hspan.Tracer
+
 	// Log receives service events (job lifecycle, drain progress).
 	// nil discards them.
 	Log *log.Logger
@@ -125,6 +134,11 @@ type Server struct {
 
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
+
+	// spans is never nil: Config.Spans or a sinkless fallback tracer,
+	// so span timing, histograms and /trace work unconditionally.
+	spans  *hspan.Tracer
+	reqSeq atomic.Uint64 // request-log correlation IDs
 
 	mu       sync.Mutex
 	draining bool
@@ -178,6 +192,10 @@ func New(cfg Config) (*Server, error) {
 		cfg.DrainTimeout = 10 * time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	spans := cfg.Spans
+	if spans == nil {
+		spans = hspan.New(nil)
+	}
 	s := &Server{
 		cfg:        cfg,
 		base:       base,
@@ -187,6 +205,7 @@ func New(cfg Config) (*Server, error) {
 		workers:    workers,
 		rootCtx:    ctx,
 		rootCancel: cancel,
+		spans:      spans,
 		jobs:       make(map[string]*Job),
 		tenants:    make(map[string]*tenantState),
 		queue:      make(chan *Job, depth),
@@ -232,9 +251,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	inFlight := s.queued + s.running
 	s.mu.Unlock()
+	var drainSpan hspan.Span
 	if !already {
+		drainSpan = s.spans.Start("drain", hspan.Int("in_flight", int64(inFlight)))
 		s.log.Printf("serve: draining: %d jobs in flight, grace %v", inFlight, s.cfg.DrainTimeout)
 	}
+	defer drainSpan.End()
 
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()

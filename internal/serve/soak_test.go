@@ -168,6 +168,29 @@ func TestSoak(t *testing.T) {
 		t.Errorf("bursty tenant (cap 4, %d concurrent submits) was never shed", perTenant)
 	}
 
+	// Latency histograms populated under load: every tenant that got
+	// work admitted has a queue-wait distribution with a meaningful p99
+	// (250 submissions onto 8 workers guarantees real queueing).
+	s.metrics.mu.Lock()
+	if len(s.metrics.queueWait) == 0 {
+		t.Error("soak produced no queue-wait histograms")
+	}
+	for tenant, h := range s.metrics.queueWait {
+		if h.Count() == 0 {
+			t.Errorf("tenant %s queue-wait histogram is empty", tenant)
+			continue
+		}
+		if p99 := h.Quantile(0.99); p99 <= 0 {
+			t.Errorf("tenant %s queue-wait p99 = %d ns, want > 0", tenant, p99)
+		}
+	}
+	for tenant, h := range s.metrics.jobWall {
+		if h.Count() == 0 || h.Quantile(0.5) <= 0 {
+			t.Errorf("tenant %s job-wall histogram unpopulated (count=%d)", tenant, h.Count())
+		}
+	}
+	s.metrics.mu.Unlock()
+
 	// Drain and prove no goroutine outlived the fleet.
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()

@@ -10,6 +10,7 @@ import (
 	"ghostbusters/internal/dbt"
 	"ghostbusters/internal/detect"
 	"ghostbusters/internal/harness"
+	"ghostbusters/internal/hspan"
 	"ghostbusters/internal/obs"
 	"ghostbusters/internal/polybench"
 	"ghostbusters/internal/riscv"
@@ -34,12 +35,16 @@ func (s *Server) runJob(j *Job) {
 	s.queued--
 	if j.ctx.Err() != nil {
 		s.mu.Unlock()
+		j.queueSpan.End(hspan.Str("outcome", "canceled"))
 		s.finish(j, 0, nil, &APIError{Code: CodeCanceled, Message: "job canceled before it started"})
 		return
 	}
 	j.state = StateRunning
 	s.running++
 	s.mu.Unlock()
+	waitNS := s.spans.Now() - j.queueSpan.StartNS()
+	j.queueSpan.End()
+	s.metrics.observeQueueWait(j.Tenant, waitNS)
 
 	res, spent, aerr := s.execute(j)
 	s.mu.Lock()
@@ -85,6 +90,12 @@ func (s *Server) finish(j *Job, spent uint64, res *JobResult, aerr *APIError) {
 	s.appendEventLocked(j, JobEvent{Type: EventJobFinished, State: j.state})
 	state := j.state
 	s.mu.Unlock()
+	// The root span ends outside s.mu (its observer wakes /trace
+	// readers under the job's span lock); its record marks the job's
+	// trace complete, so it must land after every child span has.
+	wallNS := s.spans.Now() - j.root.StartNS()
+	j.root.End(hspan.Str("state", state), hspan.Int("cycles_charged", int64(spent)))
+	s.metrics.observeJobWall(j.Tenant, wallNS)
 	j.cancel() // release the job context's resources on every path
 	close(j.done)
 	if aerr != nil {
@@ -159,7 +170,10 @@ func (s *Server) executeRun(ctx context.Context, j *Job, cfg dbt.Config) (*JobRe
 	var total uint64
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := bo.Sleep(ctx, attempt, j.ID); err != nil {
+			bs := j.root.Child("backoff", hspan.Int("attempt", int64(attempt)))
+			err := bo.Sleep(ctx, attempt, j.ID)
+			bs.End()
+			if err != nil {
 				return nil, total, s.ctxError(ctx)
 			}
 		}
@@ -184,9 +198,25 @@ func (s *Server) executeRun(ctx context.Context, j *Job, cfg dbt.Config) (*JobRe
 			det = detect.New(detect.Config{})
 			cfg.Tracer = obs.New(obs.LevelSpec, det)
 		}
-		res, cycles, runErr := runGuest(cfg, prog)
+		as := j.root.Child("attempt", hspan.Int("attempt", int64(attempt)))
+		res, cycles, transNS, runErr := runGuest(cfg, prog)
 		_ = cfg.Tracer.Close() // flush the stream's tail into the detector
 		total += cycles
+		if transNS > 0 {
+			// Attribute the attempt's host time to its translate and
+			// execute phases (consecutive intervals — translation
+			// actually interleaves; see harness.endAttempt).
+			start := as.StartNS()
+			as.Emit("translate", start, start+transNS, hspan.Int("ns", transNS))
+			as.Emit("execute", start+transNS, s.spans.Now(), hspan.Int("cycles", int64(cycles)))
+		}
+		outcome := "ok"
+		if runErr != nil {
+			outcome = "error"
+		}
+		hostNS := s.spans.Now() - as.StartNS()
+		as.End(hspan.Str("outcome", outcome), hspan.Int("cycles", int64(cycles)))
+		s.metrics.observeCellHost(j.Tenant, j.modes[0].String(), hostNS)
 		if runErr == nil {
 			out := &JobResult{
 				ExitCode: int(res.Exit.Code),
@@ -224,21 +254,23 @@ func (s *Server) executeRun(ctx context.Context, j *Job, cfg dbt.Config) (*JobRe
 
 // runGuest is one machine lifecycle: build, load, run, release. The
 // returned cycle count is what the guest consumed regardless of
-// outcome (faulted and interrupted runs are metered too).
-func runGuest(cfg dbt.Config, prog *riscv.Program) (*dbt.Result, uint64, error) {
+// outcome (faulted and interrupted runs are metered too); the third
+// return is the machine's host-side translation time for the span
+// layer's translate/execute split.
+func runGuest(cfg dbt.Config, prog *riscv.Program) (*dbt.Result, uint64, int64, error) {
 	m, err := dbt.New(cfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer m.Release()
 	if err := m.Load(prog); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	res, err := m.Run()
 	if err != nil {
-		return nil, m.Cycles(), err
+		return nil, m.Cycles(), m.TranslateHostNS(), err
 	}
-	return res, res.Cycles, nil
+	return res, res.Cycles, m.TranslateHostNS(), nil
 }
 
 // executeSweep runs a kernel or fig4 matrix job on a harness Runner
@@ -280,6 +312,7 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, cfg dbt.Config) (*Job
 		BackoffMax:  s.cfg.BackoffMax,
 		BackoffSeed: s.cfg.BackoffSeed,
 		TransCache:  s.cfg.TransCache,
+		Span:        j.root, // per-cell spans land in the job's trace
 		OnCell: func(u harness.CellUpdate) {
 			ev := JobEvent{Type: EventCellStarted, Bench: u.Bench, Mode: u.Mode.String(),
 				Index: u.Index, Total: u.Total}
@@ -287,6 +320,7 @@ func (s *Server) executeSweep(ctx context.Context, j *Job, cfg dbt.Config) (*Job
 				ev.Type = EventCellFinished
 				if u.Run != nil {
 					ev.Cycles = u.Run.Cycles
+					s.metrics.observeCellHost(j.Tenant, u.Mode.String(), u.Run.HostNS)
 				}
 				if u.Err != nil {
 					ev.Error = u.Err.Error()

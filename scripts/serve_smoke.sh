@@ -7,8 +7,13 @@
 #   3. a run job reports the guest's exit code
 #   4. per-tenant admission control sheds with 429 + Retry-After and a
 #      structured error body
-#   5. /metrics exposes fleet, tenant-ledger and simulator counters
-#   6. SIGTERM drains gracefully: the process exits 0 and logs the drain
+#   5. /metrics exposes fleet, tenant-ledger and simulator counters,
+#      latency histograms are populated, and the whole exposition
+#      parses under the Prometheus text-format grammar
+#   6. /v1/jobs/{id}/trace replays the job's span tree and every
+#      response carries an X-Request-Id
+#   7. SIGTERM drains gracefully: the process exits 0, logs the drain,
+#      and the -spans timeline ends with the drain span
 #
 # Usage: scripts/serve_smoke.sh [logdir]
 # The server log and every intermediate artifact land in logdir
@@ -37,7 +42,8 @@ go build -o "$bin/gbbench" ./cmd/gbbench
 # which. Tenant "capped" has an in-flight cap of 1 so one slow job is
 # enough to trigger load shedding deterministically.
 "$bin/gbserve" -addr 127.0.0.1:0 -workers 2 -job-parallelism 2 \
-	-tenant smoke=4:0:0 -tenant capped=1:0:0 2>"$log" &
+	-tenant smoke=4:0:0 -tenant capped=1:0:0 \
+	-spans "$logdir/spans.jsonl" 2>"$log" &
 srvpid=$!
 
 port=""
@@ -96,9 +102,71 @@ for want in \
 	'gb_sim_cycles'; do
 	grep -q "$want" "$logdir/metrics.txt" || { echo "metrics missing $want"; cat "$logdir/metrics.txt"; exit 1; }
 done
-echo "ok: metrics carry fleet, tenant-ledger and simulator counters"
+grep -q 'gbserve_queue_wait_seconds_bucket{tenant="smoke"' "$logdir/metrics.txt" || {
+	echo "queue-wait histogram not populated"; cat "$logdir/metrics.txt"; exit 1; }
+grep -q 'gbserve_job_wall_seconds_bucket{tenant="smoke"' "$logdir/metrics.txt" || {
+	echo "job-wall histogram not populated"; cat "$logdir/metrics.txt"; exit 1; }
+# Full text-format grammar pass: every sample must belong to a family
+# announced by # HELP + # TYPE, names must match the Prometheus
+# grammar, and histogram buckets must be cumulative with le="+Inf"
+# equal to _count.
+python3 - "$logdir/metrics.txt" <<'EOF'
+import re, sys
+name_re = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*$')
+families, cur = {}, None
+for ln in open(sys.argv[1]):
+    ln = ln.rstrip("\n")
+    assert ln, "blank line in exposition"
+    if ln.startswith("# HELP "):
+        cur = ln.split(" ", 3)[2]
+        assert name_re.match(cur), cur
+        assert cur not in families, f"duplicate family {cur}"
+        families[cur] = {"type": None, "buckets": {}}
+        continue
+    if ln.startswith("# TYPE "):
+        _, _, n, t = ln.split(" ", 3)
+        assert n == cur and t in ("counter", "gauge", "histogram"), ln
+        families[cur]["type"] = t
+        continue
+    assert not ln.startswith("#"), ln
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$', ln)
+    assert m, f"unparseable sample: {ln}"
+    base = m.group(1)
+    for suf in ("_bucket", "_sum", "_count"):
+        if base.endswith(suf) and base[: -len(suf)] in families:
+            base = base[: -len(suf)]
+            break
+    assert base == cur, f"sample {m.group(1)} outside its family block (cur={cur})"
+    fam = families[cur]
+    if fam["type"] == "histogram" and m.group(1).endswith("_bucket"):
+        le = re.search(r'le="([^"]*)"', m.group(2))
+        series = re.sub(r'le="[^"]*",?', "", m.group(2))
+        fam["buckets"].setdefault(series, []).append(float(m.group(3)))
+for n, fam in families.items():
+    assert fam["type"], f"{n}: # HELP without # TYPE"
+    for series, counts in fam["buckets"].items():
+        assert counts == sorted(counts), f"{n}{series}: buckets not cumulative"
+names = sorted(families)
+assert names == list(families), "families not sorted"
+hists = [n for n, f in families.items() if f["type"] == "histogram"]
+assert "gbserve_queue_wait_seconds" in hists, hists
+print(f"ok: {len(families)} families, {len(hists)} histograms, grammar clean")
+EOF
+echo "ok: metrics carry fleet, tenant-ledger and simulator counters; exposition grammar clean"
 
-# --- 6. graceful SIGTERM drain ----------------------------------------
+# --- 6. per-job trace replay + request-id correlation -----------------
+runid=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$logdir/run.job.json" | head -1)
+curl -fsS -D "$logdir/trace.headers" "$base/v1/jobs/$runid/trace" >"$logdir/trace.jsonl"
+grep -qi '^X-Request-Id:' "$logdir/trace.headers"
+grep -qi "^X-Job-Id: $runid" "$logdir/trace.headers"
+head -1 "$logdir/trace.jsonl" | grep -q 'ghostbusters/span/v1'
+grep -q '"name":"job"' "$logdir/trace.jsonl"
+grep -q '"name":"queue-wait"' "$logdir/trace.jsonl"
+grep -q '"name":"attempt"' "$logdir/trace.jsonl"
+grep -q "rid=" "$log"
+echo "ok: trace endpoint replays the span tree; responses carry X-Request-Id"
+
+# --- 7. graceful SIGTERM drain ----------------------------------------
 kill -TERM "$srvpid"
 rc=0
 wait "$srvpid" || rc=$?
@@ -106,6 +174,8 @@ srvpid=""
 test "$rc" -eq 0 || { echo "drain exited $rc:"; cat "$log"; exit 1; }
 grep -q 'draining' "$log"
 grep -q 'bye' "$log"
-echo "ok: SIGTERM drained cleanly (exit 0)"
+head -1 "$logdir/spans.jsonl" | grep -q 'ghostbusters/span/v1'
+tail -1 "$logdir/spans.jsonl" | grep -q '"name":"drain"'
+echo "ok: SIGTERM drained cleanly (exit 0); span timeline ends with the drain span"
 
 echo "serve smoke: all checks passed (logs in $logdir)"
